@@ -1,0 +1,17 @@
+"""Shared helpers for the per-figure benchmark suite.
+
+Every benchmark regenerates (a scaled-down version of) one table or figure
+from the paper and asserts its *shape* targets — who wins, in which
+direction curves move — rather than absolute numbers (see DESIGN.md §3 and
+EXPERIMENTS.md).  ``benchmark.pedantic(..., rounds=1)`` is used throughout:
+each run is a deterministic discrete-event simulation, so repeating it
+within one process measures nothing new.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,30 @@
+"""§4.1 ablation: message aggregation's mixed results at 8 B.
+
+The paper: removing aggregation (send-immediate) improves lci_psr_cq_pin
+by up to 80 %, while the no-immediate variants all sit near the same
+~400 K/s plateau regardless of protocol (the parcel-queue/connection-cache
+path is their shared bottleneck).
+"""
+
+from conftest import run_once
+
+from repro.bench import ablation_aggregation
+
+
+def test_ablation_aggregation_mixed_results(benchmark):
+    result = run_once(benchmark, ablation_aggregation, quick=True)
+    print("\n" + result.render())
+    peaks = result.meta["peaks"]
+
+    # immediate helps psr substantially (paper: up to +80 %)
+    assert peaks["lci_psr_cq_pin_i"] > 1.3 * peaks["lci_psr_cq_pin"]
+
+    # the two no-immediate variants share the aggregation-path ceiling
+    lo = min(peaks["lci_psr_cq_pin"], peaks["lci_sr_cq_pin"])
+    hi = max(peaks["lci_psr_cq_pin"], peaks["lci_sr_cq_pin"])
+    assert hi / lo < 1.25
+
+    # for sr the benefit of immediate is much smaller than for psr
+    gain_psr = peaks["lci_psr_cq_pin_i"] / peaks["lci_psr_cq_pin"]
+    gain_sr = peaks["lci_sr_cq_pin_i"] / peaks["lci_sr_cq_pin"]
+    assert gain_psr > gain_sr

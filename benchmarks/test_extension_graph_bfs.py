@@ -1,0 +1,43 @@
+"""Extension: the irregular graph workload the paper's introduction
+motivates ("irregular problems such as graph algorithms").
+
+Distributed BFS frontier exchange is exactly the multithreaded, irregular,
+small-message traffic AMT communication layers exist for (LCI's first use
+was distributed graph analytics, paper §2.1).  Shape target: the same
+parcelport ordering as the microbenchmarks — best LCI, then MPI, with the
+legacy TCP parcelport slowest — while all backends compute the *same* BFS.
+"""
+
+from conftest import run_once
+
+from repro import LAPTOP, make_runtime
+from repro.apps.graphs import DistributedBfs, make_graph
+from repro.sim import RngPool
+
+CONFIGS = ["tcp", "mpi", "mpi_i", "lci_psr_cq_pin_i"]
+
+
+def test_graph_bfs_across_parcelports(benchmark):
+    adj = make_graph(600, 8.0, RngPool(31).stream("g"))
+
+    def experiment():
+        out = {}
+        reference = None
+        for cfg in CONFIGS:
+            rt = make_runtime(cfg, platform=LAPTOP, n_localities=4)
+            bfs = DistributedBfs(rt, adj)
+            res = bfs.run(root=0, max_events=30_000_000)
+            if reference is None:
+                ref_depth, ref_levels = bfs.reference_bfs(0)
+                reference = (len(ref_depth), ref_levels)
+            assert (res.visited, res.levels) == reference
+            out[cfg] = res.teps
+        return out
+
+    teps = run_once(benchmark, experiment)
+    for cfg in CONFIGS:
+        print(f"  {cfg:<18} {teps[cfg] / 1e6:7.2f} MTEPS")
+
+    assert teps["lci_psr_cq_pin_i"] > teps["mpi_i"]
+    assert teps["lci_psr_cq_pin_i"] > 1.5 * teps["mpi"]
+    assert teps["tcp"] < teps["mpi"]          # the legacy floor

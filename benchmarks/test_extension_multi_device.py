@@ -1,0 +1,75 @@
+"""§7.2 future-work extension: multiple LCI devices per process.
+
+The paper attributes the gap between the ~750 K/s parcelport peak and the
+NIC's hardware limits to "contention on low-level network resources",
+noting the parcelport "only uses one LCI device per process" and that
+"replicating low-level network resources could greatly increase message
+rates".  This repository implements that replication (per-device packet
+pool, matching table, progress engine and RX channel).
+
+Shape target: with worker-thread progress (where progress-engine
+contention is the bottleneck), 4 devices raise the 8 B message rate by a
+large factor; with a single pinned progress thread, extra devices do not
+help (the one thread is still the serial consumer).
+"""
+
+from conftest import run_once
+
+from repro.hpx_rt import HpxRuntime
+from repro.hpx_rt.platform import EXPANSE
+from repro.lci_sim import DEFAULT_LCI_PARAMS
+from repro.parcelport import PPConfig, make_parcelport_factory
+
+TOTAL = 2000
+BATCH = 100
+
+
+def _rate(config: str, num_devices: int) -> float:
+    cfg = PPConfig.parse(config)
+    lci_params = DEFAULT_LCI_PARAMS.with_(num_devices=num_devices)
+    factory = make_parcelport_factory(cfg, lci_params=lci_params)
+    rt = HpxRuntime(EXPANSE, 2, factory, immediate=cfg.immediate)
+    state = {"received": 0}
+    done = rt.new_future()
+
+    def sink(worker, payload):
+        state["received"] += 1
+        if state["received"] == TOTAL:
+            done.set_result(rt.now)
+        return None
+
+    rt.register_action("sink", sink)
+
+    def make_task():
+        def inject(worker):
+            for _ in range(BATCH):
+                yield from rt.locality(0).apply(worker, 1, "sink", ("d",),
+                                                arg_sizes=[8])
+        return inject
+
+    rt.boot()
+    for _ in range(TOTAL // BATCH):
+        rt.locality(0).spawn(make_task())
+    rt.run_until(done, max_events=20_000_000)
+    return TOTAL / rt.now * 1e3
+
+
+def test_multi_device_scaling(benchmark):
+    def experiment():
+        return {
+            ("mt", 1): _rate("lci_psr_cq_mt_i", 1),
+            ("mt", 4): _rate("lci_psr_cq_mt_i", 4),
+            ("pin", 1): _rate("lci_psr_cq_pin_i", 1),
+            ("pin", 4): _rate("lci_psr_cq_pin_i", 4),
+        }
+
+    rates = run_once(benchmark, experiment)
+    for (mode, nd), r in sorted(rates.items()):
+        print(f"  {mode:<4} devices={nd}  {r:8.1f} K msgs/s")
+
+    # replicated devices greatly increase worker-progress message rates
+    assert rates[("mt", 4)] > 2.0 * rates[("mt", 1)]
+    # ...even past the single-device pinned-thread peak
+    assert rates[("mt", 4)] > rates[("pin", 1)]
+    # a single pinned progress thread cannot exploit extra devices
+    assert rates[("pin", 4)] < 1.3 * rates[("pin", 1)]

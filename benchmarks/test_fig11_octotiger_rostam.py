@@ -1,0 +1,30 @@
+"""Fig 11: Octo-Tiger strong scaling on Rostam (steps/s vs nodes).
+
+Shape targets (paper §5): on the smaller, lower-core-count machine the
+LCI advantage is modest (paper: up to 1.08x vs mpi_i, 1.04x vs mpi) and
+there is **no** mpi_i collapse — the contrast with Fig 10 is the point.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig11
+
+
+def test_fig11_shape(benchmark):
+    result = run_once(benchmark, fig11, quick=True, node_counts=[2, 8, 16])
+    print("\n" + result.render())
+    lci = result.by_label("lci")
+    mpi_i = result.by_label("mpi_i")
+    r_mpi = result.by_label("lci / mpi")
+    r_mpi_i = result.by_label("lci / mpi_i")
+
+    # strong scaling works for everyone on Rostam
+    assert lci.ys[-1] > lci.ys[0]
+    assert mpi_i.ys[-1] > mpi_i.ys[0]
+
+    # modest LCI gains, in the paper's regime (roughly 1.0-1.3x)
+    for r in r_mpi.ys + r_mpi_i.ys:
+        assert 0.9 < r < 1.6
+
+    # crucially: no mpi_i collapse on the 40-core machine
+    assert r_mpi_i.ys[-1] < 2.0

@@ -1,0 +1,40 @@
+"""Fig 1: achieved message rate of 8 B messages vs injection rate,
+MPI vs LCI with/without the send-immediate optimization.
+
+Shape targets (paper §4.1):
+* every configuration tracks the injection rate before saturating;
+* the best LCI variant (lci_psr_cq_pin_i) reaches the highest rate;
+* lci_psr_cq_pin_i clearly out-rates both MPI variants;
+* aggregation helps MPI under 8 B injection pressure: mpi saturates above
+  mpi_i (the same mechanism behind the paper's mpi instability remark and
+  its Fig 10 rescue; see EXPERIMENTS.md for the shape discussion).
+"""
+
+from conftest import run_once
+
+from repro.bench import fig1
+
+
+def test_fig1_shape(benchmark):
+    result = run_once(benchmark, fig1, quick=True, total=2000)
+    print("\n" + result.render())
+    lci_i = result.by_label("lci_psr_cq_pin_i")
+    lci = result.by_label("lci_psr_cq_pin")
+    mpi = result.by_label("mpi")
+    mpi_i = result.by_label("mpi_i")
+
+    # low injection: achieved rate matches injection (within 15 %)
+    for s in (lci_i, lci, mpi, mpi_i):
+        assert s.ys[0] / s.xs[0] > 0.85
+
+    # best LCI saturates far above both MPI variants
+    assert lci_i.peak > 1.5 * mpi.peak
+    assert lci_i.peak > 2.0 * mpi_i.peak
+
+    # aggregation (no immediate) pins LCI near the parcel-queue ceiling,
+    # below the immediate variant (paper: ~400 K/s vs ~750 K/s)
+    assert lci.peak < lci_i.peak
+
+    # aggregation relieves MPI's injection pressure: the aggregated mpi
+    # saturates above the immediate mpi_i at 8 B
+    assert mpi.peak > 1.2 * mpi_i.peak

@@ -1,0 +1,36 @@
+"""Fig 2: 8 B message rate vs injection rate across the eight LCI
+send-immediate variants.
+
+Shape targets (paper §4.1):
+* dedicated progress thread (pin) beats worker-thread progress (mt) by a
+  large factor (paper: up to 2.6x) — all mt variants cluster low;
+* the one-sided putsendrecv header (psr) beats two-sided sendrecv (sr)
+  for the pinned variants (paper: up to 3.5x).
+"""
+
+from conftest import run_once
+
+from repro.bench import fig2
+
+
+def test_fig2_shape(benchmark):
+    result = run_once(benchmark, fig2, quick=True, total=2000)
+    print("\n" + result.render())
+    peak = {s.label: s.peak for s in result.series}
+
+    # pin > mt for every (protocol, completion) pair
+    for proto in ("psr", "sr"):
+        for comp in ("cq", "sy"):
+            pin = peak[f"lci_{proto}_{comp}_pin_i"]
+            mt = peak[f"lci_{proto}_{comp}_mt_i"]
+            assert pin > 1.3 * mt, (proto, comp, pin, mt)
+
+    # dedicated progress thread gap in the paper's range (~2-3.5x)
+    assert peak["lci_psr_cq_pin_i"] / peak["lci_psr_cq_mt_i"] > 2.0
+
+    # one-sided put beats two-sided send/recv for the pinned cq variant
+    assert peak["lci_psr_cq_pin_i"] > 1.3 * peak["lci_sr_cq_pin_i"]
+
+    # all mt variants cluster (paper: "stuck at around 285K/s")
+    mts = [v for k, v in peak.items() if k.endswith("mt_i")]
+    assert max(mts) / min(mts) < 2.5

@@ -1,0 +1,29 @@
+"""Fig 4: achieved message rate of 16 KiB messages vs injection rate,
+MPI vs LCI.
+
+Shape targets (paper §4.1): LCI out-rates MPI (paper: up to 30x at the
+highest injection rates); both MPI variants' rates *decrease* as the
+injection rate rises while LCI saturates and stays flat.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig4
+
+
+def test_fig4_shape(benchmark):
+    result = run_once(benchmark, fig4, quick=True, total=600)
+    print("\n" + result.render())
+    lci_i = result.by_label("lci_psr_cq_pin_i")
+    mpi = result.by_label("mpi")
+    mpi_i = result.by_label("mpi_i")
+
+    # LCI wins at saturation (rightmost point = unlimited injection)
+    assert lci_i.ys[-1] > 1.5 * mpi.ys[-1]
+    assert lci_i.ys[-1] > 2.0 * mpi_i.ys[-1]
+
+    # MPI rates decrease under injection pressure...
+    assert mpi_i.ys[-1] < 0.8 * mpi_i.peak
+    assert mpi.ys[-1] < 0.8 * mpi.peak
+    # ...while LCI holds its saturated rate (within 20 % of peak)
+    assert lci_i.ys[-1] > 0.8 * lci_i.peak

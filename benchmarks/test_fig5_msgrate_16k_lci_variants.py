@@ -1,0 +1,28 @@
+"""Fig 5: 16 KiB message rate vs injection rate across the LCI variants.
+
+Shape targets (paper §4.1): pinned-progress variants beat worker-progress
+counterparts (paper: +17-50 %); completion queues at least match
+synchronizers at the peak (paper: cq +25-30 % and much smoother).
+"""
+
+from conftest import run_once
+
+from repro.bench import fig5
+
+
+def test_fig5_shape(benchmark):
+    result = run_once(benchmark, fig5, quick=True, total=600)
+    print("\n" + result.render())
+    peak = {s.label: s.peak for s in result.series}
+
+    # dedicated progress thread helps for every protocol/completion pair
+    for proto in ("psr", "sr"):
+        for comp in ("cq", "sy"):
+            assert peak[f"lci_{proto}_{comp}_pin_i"] > \
+                1.1 * peak[f"lci_{proto}_{comp}_mt_i"], (proto, comp)
+
+    # cq at least matches sy at the peak for the pinned variants
+    assert peak["lci_psr_cq_pin_i"] >= 0.9 * peak["lci_psr_sy_pin_i"]
+
+    # all variants actually move 16 KiB messages
+    assert min(peak.values()) > 0

@@ -1,0 +1,32 @@
+"""Fig 6: the highest achieved 16 KiB message rate across all
+configurations.
+
+Shape targets: an LCI pin variant on top; LCI pinned variants above MPI;
+the no-immediate baseline trails the immediate variants at 16 KiB (the
+paper: aggregation cannot help large zero-copy messages).
+"""
+
+from conftest import run_once
+
+from repro.bench import fig6
+from repro.bench.reporting import format_bar_chart
+
+
+def test_fig6_shape(benchmark):
+    result = run_once(benchmark, fig6, quick=True, total=600)
+    labels = result.meta["labels"]
+    peaks = result.meta["peaks"]
+    print("\n" + format_bar_chart(labels, peaks, unit=" K/s"))
+    by = dict(zip(labels, peaks))
+
+    best = max(by, key=by.get)
+    assert best.startswith("lci_psr") and best.endswith("pin_i")
+
+    # LCI's pinned immediate variants all beat both MPI variants
+    for proto in ("psr", "sr"):
+        for comp in ("cq", "sy"):
+            assert by[f"lci_{proto}_{comp}_pin_i"] > by["mpi"]
+            assert by[f"lci_{proto}_{comp}_pin_i"] > by["mpi_i"]
+
+    # aggregation hurts 16 KiB messages: zero-copy chunks cannot batch
+    assert by["lci_psr_cq_pin"] < by["lci_psr_cq_pin_i"]

@@ -1,0 +1,40 @@
+"""Fig 7: single-message ping-pong latency vs message size (window 1).
+
+Shape targets (paper §4.2):
+* the LCI baseline (lci_psr_cq_pin, and its immediate variant) has lower
+  latency than the MPI parcelport at every size;
+* mpi_i is competitive below 1 KB (paper: within ~1.3x of the best LCI)
+  but falls behind for larger messages (protocol switch in MPI/UCX);
+* send-immediate always lowers LCI latency;
+* latency increases with message size for everyone.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig7
+
+
+def test_fig7_shape(benchmark):
+    result = run_once(benchmark, fig7, quick=True, steps=15)
+    print("\n" + result.render())
+    lci_i = result.by_label("lci_psr_cq_pin_i")
+    lci = result.by_label("lci_psr_cq_pin")
+    mpi_i = result.by_label("mpi_i")
+    mpi = result.by_label("mpi")
+
+    # best LCI <= mpi_i everywhere; < mpi everywhere
+    for x in lci_i.xs:
+        assert lci_i.y_at(x) <= mpi_i.y_at(x) * 1.05, x
+        assert lci_i.y_at(x) < mpi.y_at(x), x
+
+    # mpi_i competitive at small sizes, worse at large ones
+    assert mpi_i.y_at(8) / lci_i.y_at(8) < 1.6
+    assert mpi_i.y_at(65536) / lci_i.y_at(65536) > 1.25
+
+    # send-immediate always helps LCI latency
+    for x in lci.xs:
+        assert lci_i.y_at(x) < lci.y_at(x), x
+
+    # latency grows with size
+    for s in result.series:
+        assert s.ys[-1] > s.ys[0]

@@ -1,0 +1,37 @@
+"""Fig 8: 8 B message latency vs window size (1-64 concurrent chains).
+
+Shape targets (paper §4.2): latency rises with the window for every
+configuration (more concurrent messages -> more software overhead); the
+best LCI variant stays below mpi_i at large windows, and the gap widens
+with concurrency; the no-immediate MPI variant degrades with windows more
+gracefully than mpi_i relative to its small-window cost.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig8
+
+
+def test_fig8_shape(benchmark):
+    result = run_once(benchmark, fig8, quick=True, steps=10)
+    print("\n" + result.render())
+    lci_i = result.by_label("lci_psr_cq_pin_i")
+    mpi_i = result.by_label("mpi_i")
+    mpi = result.by_label("mpi")
+
+    # latency increases with window size everywhere
+    for s in result.series:
+        assert s.ys[-1] > s.ys[0], s.label
+
+    # best LCI below mpi_i at the largest window, and the gap grows
+    w_lo, w_hi = lci_i.xs[0], lci_i.xs[-1]
+    assert lci_i.y_at(w_hi) < mpi_i.y_at(w_hi)
+    gap_lo = mpi_i.y_at(w_lo) / lci_i.y_at(w_lo)
+    gap_hi = mpi_i.y_at(w_hi) / lci_i.y_at(w_hi)
+    assert gap_hi > gap_lo
+
+    # mpi (aggregated) loses less ground to mpi_i as windows grow
+    # (the paper's mpi/mpi_i crossover direction)
+    ratio_lo = mpi.y_at(w_lo) / mpi_i.y_at(w_lo)
+    ratio_hi = mpi.y_at(w_hi) / mpi_i.y_at(w_hi)
+    assert ratio_hi < ratio_lo

@@ -1,0 +1,27 @@
+"""Fig 9: 16 KiB message latency vs window size (1-64 chains).
+
+Shape targets (paper §4.2): for large messages the latency gap between
+mpi_i and the best LCI widens with the window (paper: 2x at window 1 up
+to 9.6x at window 64); latency rises with the window for every variant.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig9
+
+
+def test_fig9_shape(benchmark):
+    result = run_once(benchmark, fig9, quick=True, steps=10)
+    print("\n" + result.render())
+    lci_i = result.by_label("lci_psr_cq_pin_i")
+    mpi_i = result.by_label("mpi_i")
+
+    for s in result.series:
+        assert s.ys[-1] > s.ys[0], s.label
+
+    w_lo, w_hi = lci_i.xs[0], lci_i.xs[-1]
+    gap_lo = mpi_i.y_at(w_lo) / lci_i.y_at(w_lo)
+    gap_hi = mpi_i.y_at(w_hi) / lci_i.y_at(w_hi)
+    # the mpi_i/lci gap grows with concurrency (paper: 2x -> 9.6x)
+    assert gap_hi > gap_lo
+    assert gap_hi > 1.3

@@ -1,0 +1,16 @@
+"""Table 1: configuration abbreviations — regenerate and verify coverage."""
+
+from conftest import run_once
+
+from repro.bench import table_abbreviations
+from repro.parcelport import ALL_LCI_VARIANTS, PPConfig
+
+
+def test_table1_abbreviations(benchmark):
+    out = run_once(benchmark, table_abbreviations)
+    print("\n" + out)
+    for abbrev in ("mpi", "lci", "sr", "psr", "sy", "cq", "pin", "mt", "i"):
+        assert abbrev in out
+    # every abbreviation composes into a parseable configuration
+    for spec in ALL_LCI_VARIANTS + ["mpi", "mpi_i", "lci_psr_cq_pin"]:
+        assert PPConfig.parse(spec).label == spec

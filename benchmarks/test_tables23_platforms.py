@@ -1,0 +1,21 @@
+"""Tables 2 & 3: the two system configurations as simulated platforms."""
+
+from conftest import run_once
+
+from repro.bench import platform_tables
+from repro.hpx_rt.platform import EXPANSE, ROSTAM
+
+
+def test_tables_2_and_3(benchmark):
+    out = run_once(benchmark, platform_tables)
+    print("\n" + out)
+    # Table 2: Expanse — 128 cores, HDR IB
+    assert EXPANSE.phys_cores_per_node == 128
+    assert EXPANSE.max_nodes == 32
+    assert "hdr-ib" in out
+    # Table 3: Rostam — 40 cores, FDR IB
+    assert ROSTAM.phys_cores_per_node == 40
+    assert ROSTAM.max_nodes == 16
+    assert "fdr-ib" in out
+    # HDR is the faster interconnect, Expanse the bigger machine
+    assert EXPANSE.network.bytes_per_us > ROSTAM.network.bytes_per_us

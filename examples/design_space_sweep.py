@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Design-space sweep: the §7.2 research questions, parameterized.
+
+Uses the generic sweep utility to explore two axes the paper identifies
+as open research directions:
+
+* **device replication** (`LciParams.num_devices`) — "replicating
+  low-level network resources could greatly increase message rates";
+* **progress model** (pin vs worker-thread progress).
+
+Saves results to JSON so they can be reloaded and re-pivoted without
+rerunning the simulations.
+
+Run:  python examples/design_space_sweep.py [--total 1500] [--out sweep.json]
+"""
+
+import argparse
+
+from repro.bench.reporting import format_series_table
+from repro.bench.sweep import SweepResult, SweepSpec, run_sweep
+from repro.hpx_rt import HpxRuntime
+from repro.hpx_rt.platform import EXPANSE
+from repro.lci_sim import DEFAULT_LCI_PARAMS
+from repro.parcelport import PPConfig, make_parcelport_factory
+
+
+def measure_rate(progress: str, num_devices: int, total: int,
+                 seed: int) -> float:
+    """8 B message rate (K/s) for one (progress, devices) point."""
+    cfg = PPConfig.parse(f"lci_psr_cq_{progress}_i")
+    params = DEFAULT_LCI_PARAMS.with_(num_devices=num_devices)
+    rt = HpxRuntime(EXPANSE, 2, make_parcelport_factory(cfg,
+                                                        lci_params=params),
+                    immediate=True, seed=seed)
+    state = {"n": 0}
+    done = rt.new_future()
+
+    def sink(worker, blob):
+        state["n"] += 1
+        if state["n"] == total:
+            done.set_result(rt.now)
+        return None
+
+    rt.register_action("sink", sink)
+
+    def make_task():
+        def inject(worker):
+            for _ in range(100):
+                yield from rt.locality(0).apply(worker, 1, "sink", ("d",),
+                                                arg_sizes=[8])
+        return inject
+
+    rt.boot()
+    for _ in range(total // 100):
+        rt.locality(0).spawn(make_task())
+    rt.run_until(done, max_events=30_000_000)
+    return total / rt.now * 1e3
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--total", type=int, default=1500)
+    ap.add_argument("--out", default=None,
+                    help="optional JSON path to save/reload results")
+    args = ap.parse_args()
+    total = args.total - args.total % 100
+
+    spec = SweepSpec(axes={"progress": ["pin", "mt"],
+                           "num_devices": [1, 2, 4]})
+
+    def fn(progress, num_devices, seed):
+        rate = measure_rate(progress, num_devices, total, seed)
+        print(f"  progress={progress:<4} devices={num_devices}  "
+              f"{rate:8.1f} K msgs/s")
+        return {"rate_kps": rate}
+
+    result = run_sweep(fn, spec)
+
+    if args.out:
+        result.save(args.out)
+        result = SweepResult.load(args.out)
+        print(f"(saved + reloaded {len(result)} rows from {args.out})")
+
+    series = result.to_series(x="num_devices", y="rate_kps",
+                              group_by="progress")
+    print()
+    print(format_series_table(series, x_name="devices"))
+    mt = next(s for s in series if s.label == "mt")
+    gain = mt.ys[-1] / mt.ys[0]
+    print(f"\nworker-progress gains {gain:.1f}x from device replication "
+          f"(the paper's §7.2 hypothesis)")
+
+
+if __name__ == "__main__":
+    main()

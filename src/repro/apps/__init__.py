@@ -1,0 +1,5 @@
+"""Application benchmarks built on the simulated HPX runtime."""
+
+from . import graphs, octotiger
+
+__all__ = ["octotiger", "graphs"]

@@ -1,0 +1,14 @@
+"""Distributed graph analytics on the simulated runtime.
+
+The paper's introduction motivates AMTs with "irregular problems such as
+graph algorithms and sparse numerical solvers" (and LCI itself was first
+used to accelerate distributed graph analytics [11]).  This package
+provides that workload class: a synthetic scale-free graph partitioned
+across localities and a level-synchronous distributed BFS whose frontier
+exchanges are exactly the small, irregular, high-rate messages the
+parcelports differ on.
+"""
+
+from .bfs import BfsResult, DistributedBfs, make_graph
+
+__all__ = ["make_graph", "DistributedBfs", "BfsResult"]

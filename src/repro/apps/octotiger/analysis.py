@@ -1,0 +1,85 @@
+"""Analysis helpers for Octo-Tiger runs: load balance and traffic matrices.
+
+The paper attributes its strong-scaling setup to the SFC partitioning
+("Octo-Tiger uses space-filling curves to partition the tree nodes into
+processes") and studies configurations where inter-process communication
+dominates.  These helpers quantify both properties for a built model:
+per-locality work distribution and the locality-to-locality communication
+matrix one step generates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .fmm import FmmModel, OctoTigerConfig
+
+__all__ = ["load_balance", "communication_matrix", "traffic_summary"]
+
+
+def load_balance(model: FmmModel) -> Dict[str, float]:
+    """Leaf-count balance across localities (1.0 = perfect)."""
+    counts = [len(model.leaves_of.get(lid, []))
+              for lid in range(model.n_localities)]
+    total = sum(counts)
+    if total == 0:
+        raise ValueError("model has no leaves")
+    mean = total / model.n_localities
+    return {
+        "leaves_total": float(total),
+        "leaves_min": float(min(counts)),
+        "leaves_max": float(max(counts)),
+        "imbalance": max(counts) / mean if mean else 0.0,
+    }
+
+
+def communication_matrix(model: FmmModel,
+                         config: OctoTigerConfig) -> np.ndarray:
+    """Bytes sent from locality i to locality j in one step.
+
+    Counts boundary exchanges (per neighbour per field per substep) and
+    the M2M/L2L tree passes.
+    """
+    n = model.n_localities
+    mat = np.zeros((n, n), dtype=np.int64)
+    per_pair = config.substeps * config.boundary_fields
+    for nid, nbrs in model.neighbors.items():
+        src = model.tree.node(nid).owner
+        for m in nbrs:
+            dst = model.tree.node(m).owner
+            if dst != src:
+                mat[src, dst] += per_pair * config.boundary_bytes
+    for node in model.tree.nodes:
+        parent = node.parent
+        if parent is None:
+            continue
+        if node.owner != parent.owner:
+            mat[node.owner, parent.owner] += config.m2m_bytes   # up
+            mat[parent.owner, node.owner] += config.l2l_bytes   # down
+    return mat
+
+
+def traffic_summary(model: FmmModel, config: OctoTigerConfig
+                    ) -> Dict[str, float]:
+    """Aggregate communication figures for one step."""
+    mat = communication_matrix(model, config)
+    off_diag = mat.sum()
+    per_loc_out = mat.sum(axis=1)
+    local_pairs = sum(
+        1 for nid, nbrs in model.neighbors.items()
+        for m in nbrs
+        if model.tree.node(m).owner == model.tree.node(nid).owner)
+    remote_pairs = sum(len(v) for v in model.neighbors.values()) \
+        - local_pairs
+    total_pairs = local_pairs + remote_pairs
+    return {
+        "bytes_per_step": float(off_diag),
+        "max_locality_out_bytes": float(per_loc_out.max()),
+        "mean_locality_out_bytes": float(per_loc_out.mean()),
+        "remote_neighbor_fraction":
+            remote_pairs / total_pairs if total_pairs else 0.0,
+        "messages_per_step": float(
+            model.remote_boundary_pairs() + 2 * model.remote_m2m_edges()),
+    }

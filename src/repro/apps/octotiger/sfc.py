@@ -1,0 +1,74 @@
+"""Space-filling-curve partitioning (§5: "Octo-Tiger uses space-filling
+curves to partition the tree nodes into processes").
+
+Leaves are ordered along a Morton (Z-order) curve and cut into contiguous,
+equal-work chunks; interior nodes follow their first descendant leaf so
+subtrees stay together.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .octree import Octree, OctreeNode
+
+__all__ = ["morton_key", "partition_octree"]
+
+
+def _spread_bits(v: int) -> int:
+    """Interleave the low 21 bits of ``v`` with two zero bits each."""
+    v &= (1 << 21) - 1
+    v = (v | (v << 32)) & 0x1F00000000FFFF
+    v = (v | (v << 16)) & 0x1F0000FF0000FF
+    v = (v | (v << 8)) & 0x100F00F00F00F00F
+    v = (v | (v << 4)) & 0x10C30C30C30C30C3
+    v = (v | (v << 2)) & 0x1249249249249249
+    return v
+
+
+def morton_key(x: int, y: int, z: int, level: int, max_level: int = 21
+               ) -> int:
+    """Morton code of a cell, normalized so different levels interleave.
+
+    Coordinates are up-scaled to ``max_level`` resolution, so a parent's
+    key equals its first child's key and depth-first SFC order emerges
+    from a plain sort.
+    """
+    if level > max_level:
+        raise ValueError(f"level {level} exceeds max_level {max_level}")
+    shift = max_level - level
+    return (_spread_bits(x << shift)
+            | (_spread_bits(y << shift) << 1)
+            | (_spread_bits(z << shift) << 2))
+
+
+def node_key(node: OctreeNode) -> int:
+    return morton_key(node.x, node.y, node.z, node.level)
+
+
+def partition_octree(tree: Octree, n_localities: int) -> Dict[int, int]:
+    """Assign every node id an owner locality.
+
+    Leaves are split into ``n_localities`` contiguous Morton ranges of
+    (approximately) equal leaf count; each interior node goes to the owner
+    of its first leaf in Morton order — keeping subtrees local, as
+    Octo-Tiger's SFC distribution does.
+    """
+    if n_localities < 1:
+        raise ValueError("need at least one locality")
+    leaves = sorted(tree.leaves, key=node_key)
+    n = len(leaves)
+    owners: Dict[int, int] = {}
+    for i, leaf in enumerate(leaves):
+        owners[leaf.nid] = min(i * n_localities // n, n_localities - 1)
+    # Interior nodes: owner of the Morton-first descendant leaf.
+    def first_leaf_owner(node: OctreeNode) -> int:
+        while not node.is_leaf:
+            node = min(node.children, key=node_key)
+        return owners[node.nid]
+
+    for node in tree.interiors:
+        owners[node.nid] = first_leaf_owner(node)
+    for node in tree.nodes:
+        node.owner = owners[node.nid]
+    return owners

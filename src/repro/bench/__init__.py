@@ -1,0 +1,30 @@
+"""Benchmark harness: workloads + per-figure drivers (§4, §5)."""
+
+from .figures import (FIGURES, FigureResult, ablation_aggregation,
+                      ablation_mpi_pp, fig1, fig2, fig3, fig4, fig5, fig6,
+                      fig7, fig8, fig9, fig10, fig11, platform_tables,
+                      table_abbreviations)
+from .harness import Measurement, Series, repeat
+from .latency import LatencyParams, LatencyResult, run_latency
+from .message_rate import (MessageRateParams, MessageRateResult,
+                           run_message_rate)
+from .octotiger_bench import OctoTigerBenchParams, run_octotiger
+from .profiling import format_breakdown, lock_report, runtime_breakdown
+from .sweep import SweepResult, SweepSpec, run_sweep
+from .calibration import check_calibration, format_calibration
+from .validation import CheckResult, checks_for, validate
+
+__all__ = [
+    "FIGURES", "FigureResult",
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "ablation_mpi_pp", "ablation_aggregation",
+    "table_abbreviations", "platform_tables",
+    "Measurement", "Series", "repeat",
+    "LatencyParams", "LatencyResult", "run_latency",
+    "MessageRateParams", "MessageRateResult", "run_message_rate",
+    "OctoTigerBenchParams", "run_octotiger",
+    "runtime_breakdown", "format_breakdown", "lock_report",
+    "SweepSpec", "SweepResult", "run_sweep",
+    "validate", "checks_for", "CheckResult",
+    "check_calibration", "format_calibration",
+]

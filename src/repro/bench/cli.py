@@ -1,0 +1,67 @@
+"""Command-line entry point: ``repro-fig <figure> [--full] [--repeats N]``.
+
+Examples::
+
+    repro-fig tables          # Tables 1-3
+    repro-fig fig1            # quick Fig 1 regeneration
+    repro-fig fig10 --full    # full Fig 10 sweep
+    repro-fig all             # everything (long)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .figures import FIGURES, platform_tables, table_abbreviations
+from .validation import validate
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-fig",
+        description="Regenerate tables/figures from the LCI-parcelport "
+                    "paper inside the simulator.")
+    parser.add_argument("figure",
+                        choices=sorted(FIGURES) + ["tables", "all"],
+                        help="which figure to regenerate")
+    parser.add_argument("--full", action="store_true",
+                        help="run the full (paper-scale) sweep instead of "
+                             "the quick one")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="repetitions per data point (default: 1 quick,"
+                             " 3 full)")
+    parser.add_argument("--no-plot", action="store_true",
+                        help="suppress the ASCII chart")
+    parser.add_argument("--validate", action="store_true",
+                        help="run the figure's EXPERIMENTS.md shape checks "
+                             "and set a nonzero exit code on failure")
+    args = parser.parse_args(argv)
+
+    if args.figure == "tables":
+        print(table_abbreviations())
+        print()
+        print(platform_tables())
+        return 0
+
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    failures = 0
+    for name in names:
+        t0 = time.time()
+        result = FIGURES[name](quick=not args.full, repeats=args.repeats)
+        print(result.render(plot=not args.no_plot))
+        if args.validate:
+            for check in validate(result):
+                print(check.render())
+                if not check.passed:
+                    failures += 1
+        print(f"[{name} done in {time.time() - t0:.1f}s wall]\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

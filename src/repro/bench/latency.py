@@ -1,0 +1,87 @@
+"""Latency microbenchmark (§4.2, Figs 7–9).
+
+Multi-message ping-pong: ``window`` chains of tasks bounce a fixed-size
+message between two localities for ``steps`` iterations; every ping and
+every pong is a separate HPX task.  One-way latency = total time /
+(2 × steps), as the paper computes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from ..hpx_rt.platform import EXPANSE, PlatformSpec
+from ..parcelport import PPConfig
+from .. import make_runtime
+
+__all__ = ["LatencyParams", "LatencyResult", "run_latency"]
+
+
+@dataclass(frozen=True)
+class LatencyParams:
+    msg_size: int = 8
+    window: int = 1           #: concurrent ping-pong chains (1–64 in Fig 8/9)
+    steps: int = 50           #: chain length (paper's "step number")
+    platform: PlatformSpec = EXPANSE
+    max_events: int = 20_000_000
+
+    def with_(self, **kw) -> "LatencyParams":
+        return replace(self, **kw)
+
+
+@dataclass
+class LatencyResult:
+    config: str
+    params: LatencyParams
+    total_time_us: float
+
+    @property
+    def one_way_latency_us(self) -> float:
+        """Average one-way message latency (the paper's y axis)."""
+        return self.total_time_us / (2 * self.params.steps)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"one_way_latency_us": self.one_way_latency_us}
+
+
+def run_latency(config: "PPConfig | str", params: LatencyParams,
+                seed: int = 0xC0FFEE) -> LatencyResult:
+    """One latency run: ``window`` chains × ``steps`` round trips."""
+    if isinstance(config, str):
+        config = PPConfig.parse(config)
+    p = params
+    rt = make_runtime(config, platform=p.platform, n_localities=2, seed=seed)
+    sim = rt.sim
+    done = rt.new_latch(p.window)
+    size = p.msg_size
+
+    def ping(worker, token):
+        # Runs on locality 1; answer with a pong.
+        yield from worker.locality.apply(worker, 0, "pong", (token,),
+                                         arg_sizes=[size])
+
+    def pong(worker, token):
+        # Runs on locality 0; continue or finish the chain.
+        chain, step = token
+        if step + 1 < p.steps:
+            yield from worker.locality.apply(worker, 1, "ping",
+                                             ((chain, step + 1),),
+                                             arg_sizes=[size])
+        else:
+            done.count_down()
+
+    rt.register_action("ping", ping)
+    rt.register_action("pong", pong)
+
+    def starter(worker):
+        for chain in range(p.window):
+            yield from rt.locality(0).apply(worker, 1, "ping",
+                                            ((chain, 0),),
+                                            arg_sizes=[size])
+
+    rt.boot()
+    rt.locality(0).spawn(starter, name="latency_start")
+    rt.run_until(done, max_events=p.max_events)
+    return LatencyResult(config=config.label, params=p,
+                         total_time_us=sim.now)

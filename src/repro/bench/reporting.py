@@ -1,0 +1,114 @@
+"""Paper-style terminal output: tables and ASCII log-log plots.
+
+No plotting libraries are assumed; every figure driver prints its series as
+both a table (the exact numbers) and a rough ASCII chart (the shape), which
+is what EXPERIMENTS.md's paper-vs-measured comparisons are built from.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from .harness import Series
+
+__all__ = ["format_table", "format_series_table", "ascii_plot",
+           "format_bar_chart"]
+
+
+def format_table(rows: Sequence[Sequence[object]],
+                 header: Optional[Sequence[str]] = None) -> str:
+    """Fixed-width table with a separator under the header."""
+    data = [list(map(str, r)) for r in rows]
+    if header:
+        data.insert(0, list(map(str, header)))
+    if not data:
+        return ""
+    widths = [max(len(r[i]) for r in data) for i in range(len(data[0]))]
+    lines = []
+    for idx, row in enumerate(data):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if header and idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series_table(series: List[Series], x_name: str = "x",
+                        y_fmt: str = "{:.1f}") -> str:
+    """All series against their union of x values."""
+    xs = sorted({x for s in series for x in s.xs})
+    header = [x_name] + [s.label for s in series]
+    rows = []
+    for x in xs:
+        row: List[str] = [f"{x:g}"]
+        for s in series:
+            if x in s.xs:
+                i = s.xs.index(x)
+                cell = y_fmt.format(s.ys[i])
+                if s.yerr[i]:
+                    cell += "±" + y_fmt.format(s.yerr[i])
+            else:
+                cell = "-"
+            row.append(cell)
+        rows.append(row)
+    return format_table(rows, header)
+
+
+def _log_scale(values: List[float], lo: float, hi: float, n: int) -> List[int]:
+    out = []
+    llo, lhi = math.log10(lo), math.log10(hi)
+    span = max(lhi - llo, 1e-12)
+    for v in values:
+        frac = (math.log10(max(v, lo)) - llo) / span
+        out.append(min(n - 1, max(0, round(frac * (n - 1)))))
+    return out
+
+
+def ascii_plot(series: List[Series], width: int = 64, height: int = 18,
+               logx: bool = True, logy: bool = True,
+               title: str = "") -> str:
+    """A rough multi-series scatter/line chart in ASCII (log-log default)."""
+    pts = [(x, y) for s in series for x, y in zip(s.xs, s.ys) if y > 0]
+    if not pts:
+        return "(no data)"
+    xs_all = [p[0] for p in pts]
+    ys_all = [p[1] for p in pts]
+    xlo, xhi = min(xs_all), max(xs_all)
+    ylo, yhi = min(ys_all), max(ys_all)
+    if not logx:
+        raise NotImplementedError("only log axes are provided")
+    grid = [[" "] * width for _ in range(height)]
+    marks = "ox+*#@%&$~^=123456789"
+    for si, s in enumerate(series):
+        mark = marks[si % len(marks)]
+        cols = _log_scale(s.xs, xlo, xhi, width)
+        rows = _log_scale(s.ys, ylo, yhi, height) if logy else [
+            min(height - 1, max(0, round((y - ylo) / max(yhi - ylo, 1e-12)
+                                         * (height - 1)))) for y in s.ys]
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{ylo:.3g} .. {yhi:.3g}] (log)" if logy
+                 else f"y: [{ylo:.3g} .. {yhi:.3g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: [{xlo:.3g} .. {xhi:.3g}] (log)")
+    for si, s in enumerate(series):
+        lines.append(f"  {marks[si % len(marks)]} = {s.label}")
+    return "\n".join(lines)
+
+
+def format_bar_chart(labels: List[str], values: List[float],
+                     width: int = 50, unit: str = "") -> str:
+    """Horizontal bar chart (used for the Fig 3/6 peak-rate charts)."""
+    if not values:
+        return "(no data)"
+    peak = max(values)
+    lw = max(len(l) for l in labels)
+    lines = []
+    for label, v in zip(labels, values):
+        bar = "#" * max(1, round(v / peak * width)) if peak > 0 else ""
+        lines.append(f"{label.ljust(lw)} |{bar} {v:.1f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""Executable shape targets: does a regenerated figure match the paper?
+
+EXPERIMENTS.md states, per figure, which orderings and directions must
+hold; this module encodes them as data so they can be evaluated anywhere
+(`repro-fig fig4 --validate`, notebooks, CI) rather than hand-coded in
+each benchmark.
+
+A check is a named predicate over a :class:`~repro.bench.figures.
+FigureResult`; :func:`validate` returns structured outcomes, never
+raising — reporting belongs to the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from .figures import FigureResult
+
+__all__ = ["CheckResult", "validate", "checks_for", "CHECKS"]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one shape check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def render(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}: {self.detail}"
+
+
+Check = Callable[[FigureResult], CheckResult]
+
+
+def _ratio_check(name: str, a: str, b: str, at_least: float,
+                 where: str = "peak") -> Check:
+    """series[a] / series[b] >= at_least (peak or final point)."""
+
+    def check(result: FigureResult) -> CheckResult:
+        sa, sb = result.by_label(a), result.by_label(b)
+        va = sa.peak if where == "peak" else sa.ys[-1]
+        vb = sb.peak if where == "peak" else sb.ys[-1]
+        ratio = va / vb if vb else float("inf")
+        return CheckResult(
+            name, ratio >= at_least,
+            f"{a}/{b} {where} = {ratio:.2f}x (need >= {at_least}x)")
+
+    return check
+
+
+def _latency_below(name: str, a: str, b: str) -> Check:
+    """series[a] <= series[b] at every shared x (latency figures)."""
+
+    def check(result: FigureResult) -> CheckResult:
+        sa, sb = result.by_label(a), result.by_label(b)
+        bad = [x for x in sa.xs if sa.y_at(x) > sb.y_at(x) * 1.05]
+        return CheckResult(
+            name, not bad,
+            f"{a} <= {b} everywhere" if not bad
+            else f"{a} above {b} at x={bad}")
+
+    return check
+
+
+def _monotone_rising(name: str, label: str) -> Check:
+    def check(result: FigureResult) -> CheckResult:
+        s = result.by_label(label)
+        ok = all(b >= a * 0.999 for a, b in zip(s.ys, s.ys[1:]))
+        return CheckResult(name, ok,
+                           f"{label} non-decreasing" if ok
+                           else f"{label} dips: {s.ys}")
+    return check
+
+
+def _declines_from_peak(name: str, label: str, below: float) -> Check:
+    """The final point sits below ``below`` x the series peak."""
+
+    def check(result: FigureResult) -> CheckResult:
+        s = result.by_label(label)
+        frac = s.ys[-1] / s.peak if s.peak else 1.0
+        return CheckResult(
+            name, frac < below,
+            f"{label} final/peak = {frac:.2f} (need < {below})")
+
+    return check
+
+
+def _gap_grows(name: str, a: str, b: str) -> Check:
+    """a/b at the last x exceeds a/b at the first x."""
+
+    def check(result: FigureResult) -> CheckResult:
+        sa, sb = result.by_label(a), result.by_label(b)
+        lo = sa.ys[0] / sb.ys[0] if sb.ys[0] else 0.0
+        hi = sa.ys[-1] / sb.ys[-1] if sb.ys[-1] else 0.0
+        return CheckResult(name, hi > lo,
+                           f"{a}/{b}: {lo:.2f} -> {hi:.2f}")
+
+    return check
+
+
+#: per-figure shape targets (mirrors EXPERIMENTS.md)
+CHECKS: Dict[str, List[Check]] = {
+    "fig1": [
+        _ratio_check("lci_best_beats_mpi", "lci_psr_cq_pin_i", "mpi", 1.5),
+        _ratio_check("lci_best_beats_mpi_i", "lci_psr_cq_pin_i", "mpi_i",
+                     2.0),
+        _ratio_check("immediate_beats_aggregated_lci", "lci_psr_cq_pin_i",
+                     "lci_psr_cq_pin", 1.3),
+    ],
+    "fig2": [
+        _ratio_check("pin_beats_mt", "lci_psr_cq_pin_i",
+                     "lci_psr_cq_mt_i", 2.0),
+        _ratio_check("put_beats_sendrecv", "lci_psr_cq_pin_i",
+                     "lci_sr_cq_pin_i", 1.3),
+    ],
+    "fig4": [
+        _ratio_check("lci_beats_mpi_16k", "lci_psr_cq_pin_i", "mpi",
+                     1.5, where="final"),
+        _declines_from_peak("mpi_declines", "mpi", 0.8),
+        _declines_from_peak("mpi_i_declines", "mpi_i", 0.8),
+    ],
+    "fig5": [
+        _ratio_check("pin_beats_mt_16k", "lci_psr_cq_pin_i",
+                     "lci_psr_cq_mt_i", 1.1),
+    ],
+    "fig7": [
+        _latency_below("lci_always_fastest", "lci_psr_cq_pin_i", "mpi_i"),
+        _latency_below("lci_below_mpi", "lci_psr_cq_pin_i", "mpi"),
+        _latency_below("immediate_helps", "lci_psr_cq_pin_i",
+                       "lci_psr_cq_pin"),
+    ],
+    "fig8": [
+        _monotone_rising("latency_grows_lci", "lci_psr_cq_pin_i"),
+        _monotone_rising("latency_grows_mpi_i", "mpi_i"),
+        _gap_grows("mpi_i_degrades_faster", "mpi_i", "lci_psr_cq_pin_i"),
+    ],
+    "fig9": [
+        _monotone_rising("latency_grows_lci", "lci_psr_cq_pin_i"),
+        _gap_grows("mpi_i_degrades_faster", "mpi_i", "lci_psr_cq_pin_i"),
+    ],
+    "fig10": [
+        _monotone_rising("lci_scales", "lci"),
+        _gap_grows("speedup_vs_mpi_grows", "lci", "mpi"),
+        _ratio_check("mpi_i_collapse", "lci", "mpi_i", 2.0, where="final"),
+    ],
+    "fig11": [
+        _monotone_rising("lci_scales", "lci"),
+        _monotone_rising("no_mpi_i_collapse_on_rostam", "mpi_i"),
+    ],
+}
+
+
+def checks_for(figure: str) -> List[Check]:
+    return CHECKS.get(figure, [])
+
+
+def validate(result: FigureResult) -> List[CheckResult]:
+    """Run all registered shape checks for ``result``'s figure."""
+    out = []
+    for check in checks_for(result.figure):
+        try:
+            out.append(check(result))
+        except KeyError as e:
+            out.append(CheckResult(getattr(check, "__name__", "check"),
+                                   False, f"missing series: {e}"))
+    return out

@@ -1,0 +1,22 @@
+"""Simulated HPX asynchronous many-task runtime (the paper's §2.2 stack)."""
+
+from .collectives import Collectives, REDUCTIONS
+from .future import Future, Latch
+from .parcel import HpxMessage, Parcel
+from .parcel_layer import ParcelLayer
+from .platform import (CostModel, EXPANSE, LAPTOP, PlatformSpec, ROSTAM,
+                       platform_by_name)
+from .runtime import HpxRuntime, Locality
+from .scheduler import Scheduler, Worker
+from .serialization import (deserialize_cost, serialize_cost,
+                            serialize_parcels, split_args)
+from .task import Task
+
+__all__ = [
+    "HpxRuntime", "Locality", "Worker", "Scheduler", "Task",
+    "Future", "Latch", "Collectives", "REDUCTIONS",
+    "Parcel", "HpxMessage", "ParcelLayer",
+    "serialize_parcels", "serialize_cost", "deserialize_cost", "split_args",
+    "CostModel", "PlatformSpec", "EXPANSE", "ROSTAM", "LAPTOP",
+    "platform_by_name",
+]

@@ -1,0 +1,156 @@
+"""Collective operations over HPX actions (barrier, broadcast, reduce).
+
+HPX provides collectives as library constructs on top of actions and
+LCOs; applications built on this simulated runtime (and the Octo-Tiger
+driver's step barrier) need the same.  These are naive root-based
+implementations — every collective is a fan-in to a root locality plus a
+fan-out — which is faithful to how small-scale HPX collectives behave and
+keeps all traffic on the parcelport under study.
+
+Usage (from any task, on every participating locality)::
+
+    coll = Collectives(rt)           # once, before boot
+    ...
+    def task(worker):
+        value = yield from coll.allreduce(worker, "phase1", my_value)
+
+Each logical operation is identified by a user-chosen ``op_id``; an
+``op_id`` may be reused once the previous operation with that id has
+completed everywhere (generation counters disambiguate back-to-back use).
+"""
+
+from __future__ import annotations
+
+import operator
+from functools import reduce as _functools_reduce
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .future import Future
+from .runtime import HpxRuntime
+
+__all__ = ["Collectives", "REDUCTIONS"]
+
+#: named reduction operators accepted by :meth:`Collectives.reduce`
+REDUCTIONS: Dict[str, Callable[[Any, Any], Any]] = {
+    "sum": operator.add,
+    "min": min,
+    "max": max,
+    "prod": operator.mul,
+}
+
+
+class Collectives:
+    """Root-based collectives for a booted (or about-to-boot) runtime."""
+
+    def __init__(self, runtime: HpxRuntime, root: int = 0,
+                 prefix: str = "coll"):
+        self.rt = runtime
+        self.root = root
+        self.prefix = prefix
+        self.n = len(runtime.localities)
+        #: (op_id, generation) -> root-side accumulation state
+        self._gather: Dict[Tuple[str, int], List[Any]] = {}
+        #: (op_id, generation, lid) -> completion future
+        self._futures: Dict[Tuple[str, int, int], Future] = {}
+        #: op_id -> per-locality generation counters
+        self._gen: Dict[Tuple[str, int], int] = {}
+        runtime.register_action(f"{prefix}_arrive", self._act_arrive)
+        runtime.register_action(f"{prefix}_release", self._act_release)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _next_gen(self, op_id: str, lid: int) -> int:
+        key = (op_id, lid)
+        gen = self._gen.get(key, 0)
+        self._gen[key] = gen + 1
+        return gen
+
+    def _future_for(self, op_id: str, gen: int, lid: int) -> Future:
+        key = (op_id, gen, lid)
+        fut = self._futures.get(key)
+        if fut is None:
+            fut = Future(self.rt.sim)
+            self._futures[key] = fut
+        return fut
+
+    def _act_arrive(self, worker, op_id: str, gen: int, src: int,
+                    value: Any, combine: Optional[str]):
+        """Root-side action: collect one participant's contribution."""
+        key = (op_id, gen)
+        bucket = self._gather.setdefault(key, [])
+        bucket.append((src, value))
+        if len(bucket) < self.n:
+            return None
+        del self._gather[key]
+        # everyone arrived: fold and release
+        if combine is not None:
+            fn = REDUCTIONS[combine]
+            result = _functools_reduce(fn, (v for _, v in bucket))
+        else:
+            # broadcast: take the root's own contribution
+            result = next(v for s, v in bucket if s == self.root)
+
+        def fanout(w, result=result):
+            for lid in range(self.n):
+                if lid == self.root:
+                    self._future_for(op_id, gen, lid).set_result(result)
+                else:
+                    yield from w.locality.apply(
+                        w, lid, f"{self.prefix}_release",
+                        (op_id, gen, result))
+
+        worker.locality.spawn(fanout, name=f"{op_id}_fanout")
+        return None
+
+    def _act_release(self, worker, op_id: str, gen: int, result: Any):
+        lid = worker.locality.lid
+        self._future_for(op_id, gen, lid).set_result(result)
+        return None
+
+    def _participate(self, worker, op_id: str, value: Any,
+                     combine: Optional[str], size: int):
+        lid = worker.locality.lid
+        gen = self._next_gen(op_id, lid)
+        fut = self._future_for(op_id, gen, lid)
+        if lid == self.root:
+            # run the arrive logic locally (no self-message)
+            self._act_arrive(worker, op_id, gen, lid, value, combine)
+        else:
+            yield from worker.locality.apply(
+                worker, self.root, f"{self.prefix}_arrive",
+                (op_id, gen, lid, value, combine),
+                arg_sizes=[8, 8, 8, size, 8])
+        result = yield fut.wait()
+        return result
+
+    # ------------------------------------------------------------------
+    # public collectives (generators; call from a task on EVERY locality)
+    # ------------------------------------------------------------------
+    def barrier(self, worker, op_id: str):
+        """Generator: block until all localities entered this barrier."""
+        yield from self._participate(worker, op_id, None, None, size=8)
+
+    def broadcast(self, worker, op_id: str, value: Any = None,
+                  size: int = 8):
+        """Generator → the root's ``value`` on every locality.
+
+        Non-root callers pass ``value=None``; only the root's survives.
+        """
+        result = yield from self._participate(worker, op_id, value, None,
+                                              size=size)
+        return result
+
+    def reduce(self, worker, op_id: str, value: Any, op: str = "sum",
+               size: int = 8):
+        """Generator → the reduction of all contributions (delivered to
+        every participant, i.e. allreduce semantics)."""
+        if op not in REDUCTIONS:
+            raise KeyError(f"unknown reduction {op!r}; have "
+                           f"{sorted(REDUCTIONS)}")
+        result = yield from self._participate(worker, op_id, value, op,
+                                              size=size)
+        return result
+
+    # alias with the conventional name
+    allreduce = reduce

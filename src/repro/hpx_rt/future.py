@@ -1,0 +1,87 @@
+"""Futures and lightweight control objects (LCOs) for the simulated runtime.
+
+HPX applications coordinate through futures and LCOs; our benchmarks and the
+mini Octo-Tiger use these to express dependencies without touching the
+simulator kernel directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim.core import Event, Simulator
+
+__all__ = ["Future", "Latch"]
+
+
+class Future:
+    """Single-assignment value; tasks wait by yielding :meth:`wait`."""
+
+    __slots__ = ("sim", "_event", "_done", "_value")
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._event: Optional[Event] = None
+        self._done = False
+        self._value: Any = None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise RuntimeError("future not ready")
+        return self._value
+
+    def set_result(self, value: Any = None) -> None:
+        if self._done:
+            raise RuntimeError("future already set")
+        self._done = True
+        self._value = value
+        if self._event is not None:
+            self._event.succeed(value)
+
+    def wait(self) -> Event:
+        """An event that fires (with the value) when the future resolves."""
+        ev = Event(self.sim)
+        if self._done:
+            ev.succeed(self._value)
+        elif self._event is None:
+            self._event = ev
+        else:
+            # fan-out: chain onto the existing event
+            self._event.add_callback(lambda e: ev.succeed(e.value))
+        return ev
+
+
+class Latch:
+    """Count-down latch: fires once :meth:`count_down` was called ``n`` times."""
+
+    __slots__ = ("sim", "remaining", "_future")
+
+    def __init__(self, sim: Simulator, n: int):
+        if n < 0:
+            raise ValueError("negative latch count")
+        self.sim = sim
+        self.remaining = n
+        self._future = Future(sim)
+        if n == 0:
+            self._future.set_result()
+
+    def count_down(self, n: int = 1) -> None:
+        if self.remaining <= 0:
+            raise RuntimeError("latch already open")
+        self.remaining -= n
+        if self.remaining < 0:
+            raise RuntimeError("latch overshot")
+        if self.remaining == 0:
+            self._future.set_result()
+
+    @property
+    def open(self) -> bool:
+        return self.remaining == 0
+
+    def wait(self) -> Event:
+        return self._future.wait()

@@ -1,0 +1,105 @@
+"""Parcels and serialized HPX messages.
+
+Terminology follows §2.2 of the paper exactly:
+
+* a **parcel** is one action invocation (action id + arguments + metadata);
+* an **HPX message** is the serialized form of one *or more* parcels headed
+  to the same destination locality, consisting of
+
+  - one **non-zero-copy chunk** (all small arguments + parcel metadata),
+  - zero or more **zero-copy chunks** (each one large argument, i.e. an
+    argument of at least the zero-copy serialization threshold), and
+  - a **transmission chunk** (argument index/length table), present only
+    when there is at least one zero-copy chunk.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence, Tuple
+
+__all__ = ["Parcel", "HpxMessage", "PARCEL_METADATA_BYTES",
+           "TRANSMISSION_ENTRY_BYTES"]
+
+#: Serialized per-parcel metadata overhead (action id, destination, counts).
+PARCEL_METADATA_BYTES = 64
+#: Bytes per zero-copy chunk entry in the transmission chunk.
+TRANSMISSION_ENTRY_BYTES = 16
+
+_parcel_ids = itertools.count()
+
+
+@dataclass
+class Parcel:
+    """One action invocation in flight.
+
+    ``args`` is carried by reference (Python objects); ``arg_sizes`` gives
+    the serialized size in bytes of each argument, which is what the cost
+    model and chunking logic consume.
+    """
+
+    action: str
+    dest: int
+    src: int
+    args: Tuple[Any, ...] = ()
+    arg_sizes: Tuple[int, ...] = ()
+    pid: int = field(default_factory=lambda: next(_parcel_ids))
+
+    def __post_init__(self) -> None:
+        if not self.arg_sizes and self.args:
+            # Default: tiny scalar arguments of 8 bytes each.
+            self.arg_sizes = tuple(8 for _ in self.args)
+        elif len(self.arg_sizes) != len(self.args):
+            raise ValueError(
+                f"arg_sizes ({len(self.arg_sizes)}) does not match args "
+                f"({len(self.args)})")
+        if any(s < 0 for s in self.arg_sizes):
+            raise ValueError("negative argument size")
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(self.arg_sizes)
+
+    @property
+    def serialized_bytes(self) -> int:
+        return PARCEL_METADATA_BYTES + self.payload_bytes
+
+
+@dataclass
+class HpxMessage:
+    """A serialized batch of parcels: what the parcelport layer transfers."""
+
+    dest: int
+    src: int
+    parcels: List[Parcel]
+    non_zc_size: int          #: bytes in the non-zero-copy chunk
+    zc_sizes: List[int]       #: one entry per zero-copy chunk
+    trans_size: int           #: transmission-chunk bytes (0 if no zc chunks)
+
+    @property
+    def has_zero_copy(self) -> bool:
+        return bool(self.zc_sizes)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.non_zc_size + sum(self.zc_sizes) + self.trans_size
+
+    @property
+    def num_parcels(self) -> int:
+        return len(self.parcels)
+
+    def chunk_plan(self) -> List[Tuple[str, int]]:
+        """The ordered (kind, size) list of follow-up chunks to transfer
+        after the header — the 'chain of messages' of §3.1/§3.2.
+
+        The header message itself (and whatever piggybacks on it) is the
+        parcelport's business; this lists every chunk that *may* need its
+        own message: the non-zero-copy chunk, the transmission chunk (iff
+        any zero-copy chunk exists), then each zero-copy chunk.
+        """
+        plan: List[Tuple[str, int]] = [("non_zc", self.non_zc_size)]
+        if self.has_zero_copy:
+            plan.append(("trans", self.trans_size))
+            plan.extend(("zc", s) for s in self.zc_sizes)
+        return plan

@@ -1,0 +1,170 @@
+"""The HPX upper layer above the parcelport: parcel queues + connection cache.
+
+This is the machinery the **send-immediate optimization** (§3.2.2) bypasses:
+
+* a per-destination **parcel queue** (spinlock-protected): parcels are
+  enqueued, then whoever obtains a connection drains the whole queue into a
+  single HPX message — the aggregation mechanism;
+* a **connection cache** (spinlock-protected, bounded): reuses parcelport
+  sender-connection objects to limit allocation churn and bound concurrent
+  in-flight HPX messages per destination.
+
+In ``immediate`` mode, ``put_parcel`` serializes the single parcel right
+away and hands it straight to the parcelport: no queue, no cache, no locks —
+lower latency, no aggregation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Dict, List, Optional, TYPE_CHECKING
+
+from ..sim.primitives import SpinLock
+from ..sim.stats import StatSet
+from .parcel import Parcel
+from .serialization import serialize_cost, serialize_parcels
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import Locality
+    from .scheduler import Worker
+
+__all__ = ["ParcelLayer"]
+
+
+class ParcelLayer:
+    """Per-locality parcel-dispatch layer (the HPX 'upper layer' of §3.2.2)."""
+
+    def __init__(self, locality: "Locality", immediate: bool):
+        self.locality = locality
+        self.sim = locality.sim
+        self.cost = locality.cost
+        self.immediate = immediate
+        self.stats = StatSet(f"L{locality.lid}.parcel_layer")
+
+        self._queues: Dict[int, Deque[Parcel]] = defaultdict(deque)
+        self._queue_locks: Dict[int, SpinLock] = {}
+        self._cache_lock = SpinLock(
+            self.sim, f"L{locality.lid}.conn_cache",
+            acquire_cost=self.cost.spinlock_acquire_us)
+        self._free_conns: Dict[int, List[object]] = defaultdict(list)
+        self._conn_count: Dict[int, int] = defaultdict(int)
+
+    def _qlock(self, dest: int) -> SpinLock:
+        lk = self._queue_locks.get(dest)
+        if lk is None:
+            lk = SpinLock(self.sim, f"L{self.locality.lid}.pq{dest}",
+                          acquire_cost=self.cost.spinlock_acquire_us)
+            self._queue_locks[dest] = lk
+        return lk
+
+    # -- public entry point ---------------------------------------------------
+    def put_parcel(self, worker: "Worker", parcel: Parcel):
+        """Generator: hand one parcel to the network stack (§3.2.2 data path)."""
+        if self.immediate:
+            yield from self._put_immediate(worker, parcel)
+        else:
+            yield from self._put_default(worker, parcel)
+
+    # -- immediate path ---------------------------------------------------------
+    def _put_immediate(self, worker: "Worker", parcel: Parcel):
+        pp = self.locality.parcelport
+        msg = serialize_parcels([parcel], self.cost)
+        yield worker.cpu(serialize_cost(msg, self.cost))
+        self.stats.inc("messages_sent")
+        self.stats.inc("parcels_sent")
+        conn = pp.make_connection(parcel.dest)
+        yield from pp.send_message(worker, conn, msg, self._immediate_done)
+
+    def _immediate_done(self, worker: "Worker", conn) -> None:
+        # Transient connection: nothing to recycle.
+        self.stats.inc("immediate_completions")
+        return None
+
+    # -- default (queue + cache) path ---------------------------------------
+    def _put_default(self, worker: "Worker", parcel: Parcel):
+        dest = parcel.dest
+        qlock = self._qlock(dest)
+        yield from worker.lock(qlock)
+        yield worker.cpu(self.cost.queue_op_us)
+        self._queues[dest].append(parcel)
+        qlock.release()
+        yield from self._pump(worker, dest)
+
+    def _pump(self, worker: "Worker", dest: int):
+        """Try to obtain a connection and drain the parcel queue into it."""
+        pp = self.locality.parcelport
+        conn = None
+        create = False
+        yield from worker.lock(self._cache_lock)
+        yield worker.cpu(self.cost.cache_op_us)
+        free = self._free_conns[dest]
+        if free:
+            conn = free.pop()
+            self.stats.inc("cache_hits")
+        elif self._conn_count[dest] < self.cost.max_connections_per_dest:
+            self._conn_count[dest] += 1
+            create = True
+            self.stats.inc("cache_misses")
+        self._cache_lock.release()
+        if create:
+            yield worker.cpu(self.cost.alloc_us)
+            conn = pp.make_connection(dest)
+        if conn is None:
+            # All connections busy; their completion will pump the queue —
+            # this wait is where aggregation opportunity comes from.
+            self.stats.inc("pump_deferred")
+            return
+        yield from self._drain_into(worker, dest, conn)
+
+    def _drain_into(self, worker: "Worker", dest: int, conn):
+        """Drain the queue into ``conn``; recycle ``conn`` if queue empty."""
+        pp = self.locality.parcelport
+        qlock = self._qlock(dest)
+        yield from worker.lock(qlock)
+        q = self._queues[dest]
+        parcels = list(q)
+        q.clear()
+        yield worker.cpu(self.cost.queue_op_us * max(1, len(parcels)))
+        qlock.release()
+        if not parcels:
+            yield from self._recycle(worker, conn)
+            return
+        msg = serialize_parcels(parcels, self.cost)
+        yield worker.cpu(serialize_cost(msg, self.cost))
+        self.stats.inc("messages_sent")
+        self.stats.inc("parcels_sent", len(parcels))
+        if len(parcels) > 1:
+            self.stats.inc("aggregated_messages")
+            self.stats.inc("aggregated_parcels", len(parcels))
+        yield from pp.send_message(worker, conn, msg, self._on_send_complete)
+
+    def _on_send_complete(self, worker: "Worker", conn) -> None:
+        """Callback when a send finishes: requeue the drain as a task.
+
+        Scheduling (rather than draining inline) bounds the generator
+        nesting depth when the parcel queue is continuously refilled, and
+        matches HPX handing continuation work back to the scheduler.
+        """
+        def drain(w, conn=conn):
+            yield from self._drain_into(w, conn.dest, conn)
+
+        self.locality.spawn(drain, name="pp_drain")
+        return None
+
+    def _recycle(self, worker: "Worker", conn):
+        yield from worker.lock(self._cache_lock)
+        yield worker.cpu(self.cost.cache_op_us)
+        self._free_conns[conn.dest].append(conn)
+        self._cache_lock.release()
+
+    # -- introspection -------------------------------------------------------
+    def queued_parcels(self, dest: Optional[int] = None) -> int:
+        if dest is not None:
+            return len(self._queues[dest])
+        return sum(len(q) for q in self._queues.values())
+
+    def aggregation_ratio(self) -> float:
+        """Mean parcels per HPX message actually sent."""
+        msgs = self.stats.counters.get("messages_sent", 0)
+        parcels = self.stats.counters.get("parcels_sent", 0)
+        return parcels / msgs if msgs else 0.0

@@ -1,0 +1,215 @@
+"""The simulated HPX runtime: localities, actions, message delivery.
+
+A :class:`HpxRuntime` owns the simulator, the network fabric, and a set of
+:class:`Locality` objects (one per node — matching the paper's one-process-
+per-node runs).  Applications:
+
+1. register actions (``runtime.register_action``),
+2. boot (``runtime.boot()``),
+3. spawn tasks on localities; tasks invoke remote actions with
+   ``yield from locality.apply(worker, dest, "action", args, arg_sizes)``,
+4. drive the simulation with ``runtime.run_until(future)``.
+
+The parcelport for each locality is produced by a user-supplied factory so
+this module stays independent of :mod:`repro.parcelport`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..netsim.fabric import Fabric
+from ..sim.core import Event, Simulator
+from ..sim.rng import RngPool
+from ..sim.stats import StatSet
+from .future import Future, Latch
+from .parcel import HpxMessage, Parcel
+from .parcel_layer import ParcelLayer
+from .platform import CostModel, PlatformSpec
+from .scheduler import Scheduler, Worker
+from .serialization import deserialize_cost
+from .task import Task
+
+__all__ = ["HpxRuntime", "Locality"]
+
+
+class Locality:
+    """One HPX process (== one node in all the paper's experiments)."""
+
+    def __init__(self, runtime: "HpxRuntime", lid: int):
+        self.runtime = runtime
+        self.lid = lid
+        self.sim = runtime.sim
+        self.platform = runtime.platform
+        self.cost = runtime.cost
+        self.nic = runtime.fabric.add_node(lid)
+        self.sched = Scheduler(self.sim, name=f"L{lid}.sched")
+        self.nic.on_deliver = self.sched.notify
+        self.parcelport = None  # set by HpxRuntime.boot()
+        self.parcel_layer: Optional[ParcelLayer] = None
+        self.workers: List[Worker] = []
+        self.stats = StatSet(f"L{lid}")
+
+    # -- tasking ------------------------------------------------------------
+    def spawn(self, fn: Callable, name: str = "") -> None:
+        """Enqueue a task (``fn(worker) -> generator | None``)."""
+        self.sched.push(Task(fn, name=name))
+
+    # -- remote invocation -------------------------------------------------
+    def apply(self, worker: Worker, dest: int, action: str,
+              args: Tuple[Any, ...] = (),
+              arg_sizes: Optional[Sequence[int]] = None):
+        """Generator: invoke ``action`` on locality ``dest`` (§2.2 RPC path)."""
+        if action not in self.runtime.actions:
+            raise KeyError(f"unregistered action {action!r}")
+        yield worker.cpu(self.cost.parcel_create_us)
+        parcel = Parcel(action=action, dest=dest, src=self.lid, args=args,
+                        arg_sizes=tuple(arg_sizes) if arg_sizes is not None
+                        else tuple(8 for _ in args))
+        self.stats.inc("parcels_created")
+        if dest == self.lid:
+            # Local invocation: HPX short-circuits the network entirely.
+            self._spawn_parcel_task(parcel)
+            return
+        yield from self.parcel_layer.put_parcel(worker, parcel)
+
+    # -- receive upcall (called by the parcelport) ---------------------------
+    def on_message(self, msg: HpxMessage) -> None:
+        """Deliver a fully-received HPX message: decode + run its actions."""
+        self.stats.inc("messages_received")
+        cost = self.cost
+
+        def decode(worker: Worker, msg=msg):
+            yield worker.cpu(deserialize_cost(msg, cost))
+            for parcel in msg.parcels:
+                yield worker.cpu(cost.task_spawn_us)
+                self._spawn_parcel_task(parcel)
+
+        self.spawn(decode, name="decode")
+
+    def _spawn_parcel_task(self, parcel: Parcel) -> None:
+        runtime = self.runtime
+        cost = self.cost
+        self.stats.inc("parcels_executed")
+
+        def run_action(worker: Worker, parcel=parcel):
+            yield worker.cpu(cost.action_dispatch_us)
+            handler = runtime.actions[parcel.action]
+            body = handler(worker, *parcel.args)
+            if body is not None:
+                yield from body
+
+        self.spawn(run_action, name=parcel.action)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Locality {self.lid}>"
+
+
+class HpxRuntime:
+    """Simulated distributed HPX instance."""
+
+    def __init__(self, platform: PlatformSpec, n_localities: int,
+                 parcelport_factory: Callable[[Locality], Any],
+                 immediate: bool = False,
+                 cost: Optional[CostModel] = None,
+                 seed: int = 0xC0FFEE,
+                 fabric_factory: Optional[Callable] = None):
+        if n_localities < 1:
+            raise ValueError("need at least one locality")
+        if n_localities > platform.max_nodes:
+            raise ValueError(
+                f"{platform.name} allows at most {platform.max_nodes} nodes "
+                f"(asked for {n_localities}) — same limit as the paper")
+        self.platform = platform
+        self.cost = cost if cost is not None else platform.cost
+        self.sim = Simulator()
+        self.rng = RngPool(seed)
+        # fabric_factory(sim, params) lets experiments swap the default
+        # non-blocking crossbar for e.g. an oversubscribed FatTreeFabric.
+        if fabric_factory is None:
+            self.fabric = Fabric(self.sim, platform.network)
+        else:
+            self.fabric = fabric_factory(self.sim, platform.network)
+        self.actions: Dict[str, Callable] = {}
+        self.running = True
+        self.immediate = immediate
+        self.localities: List[Locality] = [
+            Locality(self, lid) for lid in range(n_localities)]
+        self._pp_factory = parcelport_factory
+        self._booted = False
+
+    # -- setup -------------------------------------------------------------
+    def register_action(self, name: str, fn: Callable) -> None:
+        """Register ``fn(worker, *args) -> generator | None`` as an action."""
+        if name in self.actions:
+            raise ValueError(f"action {name!r} already registered")
+        self.actions[name] = fn
+
+    def action(self, name: str) -> Callable:
+        """Decorator form of :meth:`register_action`."""
+        def deco(fn: Callable) -> Callable:
+            self.register_action(name, fn)
+            return fn
+        return deco
+
+    def boot(self) -> None:
+        """Create parcelports and start worker (and progress) threads."""
+        if self._booted:
+            raise RuntimeError("runtime already booted")
+        self._booted = True
+        for loc in self.localities:
+            loc.parcelport = self._pp_factory(loc)
+            loc.parcel_layer = ParcelLayer(loc, immediate=self.immediate)
+        # Parcelports exist on all localities before any starts (so the
+        # first message cannot arrive at an unbooted peer).
+        for loc in self.localities:
+            loc.parcelport.start()
+            # A pinned progress thread (the rp/pin configurations) runs on
+            # its own simulated core *in addition* to the workers: on the
+            # real 128-core nodes its core share is 1/128 (negligible),
+            # and charging it 1/16 of our scaled-down core count would
+            # grossly exaggerate its cost.
+            n_cores = self.platform.sim_cores_per_node
+            for core in range(n_cores):
+                w = Worker(loc, core)
+                loc.workers.append(w)
+                w.start()
+
+    # -- execution -------------------------------------------------------------
+    def locality(self, lid: int) -> Locality:
+        return self.localities[lid]
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def new_future(self) -> Future:
+        return Future(self.sim)
+
+    def new_latch(self, n: int) -> Latch:
+        return Latch(self.sim, n)
+
+    def run_until(self, what: "Future | Latch | Event | float",
+                  max_events: Optional[int] = None) -> Any:
+        """Run the simulation until a future/latch/event fires (or a time)."""
+        if not self._booted:
+            self.boot()
+        if isinstance(what, (Future, Latch)):
+            what = what.wait()
+        return self.sim.run(until=what, max_events=max_events)
+
+    def shutdown(self) -> None:
+        """Stop worker loops (the simulator can then drain quickly)."""
+        self.running = False
+        for loc in self.localities:
+            loc.sched.notify_all()
+
+    # -- reporting -----------------------------------------------------------
+    def aggregate_stats(self) -> StatSet:
+        total = StatSet("runtime")
+        for loc in self.localities:
+            total.merge(loc.stats)
+            total.merge(loc.sched.stats)
+            if loc.parcel_layer is not None:
+                total.merge(loc.parcel_layer.stats)
+        return total

@@ -1,0 +1,174 @@
+"""Worker threads and the per-locality task scheduler.
+
+Mirrors the execution model the paper describes for HPX:
+
+* one worker thread per core (all cores, unless the parcelport reserves
+  core 0 for a pinned progress thread — the ``rp``/``pin`` configurations);
+* workers run application tasks; **when idle they call the parcelport's
+  ``background_work``** (§3.1 "Threads and background work");
+* still-idle workers back off exponentially and are woken by task arrivals
+  or NIC activity.
+
+Thread-weight scaling (see :mod:`repro.hpx_rt.platform`): ``worker.compute``
+divides by ``thread_weight`` so one simulated core provides the throughput
+of ``weight`` physical cores, while ``worker.cpu`` (communication-path
+cycles) is unscaled.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, TYPE_CHECKING
+
+from ..sim.core import AnyOf, Event, Simulator, Timeout
+from ..sim.primitives import SpinLock
+from ..sim.stats import StatSet
+from .task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import Locality
+
+__all__ = ["Scheduler", "Worker"]
+
+
+class Scheduler:
+    """Shared FIFO task queue + sleeping-worker wake list for one locality."""
+
+    def __init__(self, sim: Simulator, name: str = "sched"):
+        self.sim = sim
+        self.name = name
+        self._queue: Deque[Task] = deque()
+        self._sleepers: Deque[Event] = deque()
+        self.stats = StatSet(name)
+
+    # -- task queue -------------------------------------------------------
+    def push(self, task: Task) -> None:
+        self._queue.append(task)
+        self.stats.inc("tasks_pushed")
+        self.notify()
+
+    def try_pop(self) -> Optional[Task]:
+        if self._queue:
+            self.stats.inc("tasks_popped")
+            return self._queue.popleft()
+        return None
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # -- sleep/wake -------------------------------------------------------------
+    def register_sleeper(self, ev: Event) -> None:
+        self._sleepers.append(ev)
+
+    def unregister_sleeper(self, ev: Event) -> None:
+        try:
+            self._sleepers.remove(ev)
+        except ValueError:
+            pass
+
+    def notify(self, n: int = 1) -> None:
+        """Wake up to ``n`` sleeping workers (skipping stale entries)."""
+        woken = 0
+        while self._sleepers and woken < n:
+            ev = self._sleepers.popleft()
+            if not ev.triggered:
+                ev.succeed()
+                woken += 1
+
+    def notify_all(self) -> None:
+        self.notify(n=len(self._sleepers))
+
+
+class Worker:
+    """One worker thread pinned to one core of a locality."""
+
+    def __init__(self, locality: "Locality", core_id: int):
+        self.locality = locality
+        self.core_id = core_id
+        self.sim = locality.sim
+        self.cost = locality.cost
+        self._weight = locality.platform.thread_weight
+        self.stats = StatSet(f"L{locality.lid}.w{core_id}")
+        self.name = f"L{locality.lid}/w{core_id}"
+
+    # -- time helpers used by task bodies ------------------------------------
+    def cpu(self, us: float) -> Timeout:
+        """Unscaled CPU time: communication-path / per-message cycles."""
+        self.stats.add("cpu_us", us)
+        return self.sim.timeout(us)
+
+    def compute(self, us: float) -> Timeout:
+        """Application compute, scaled by the platform thread weight."""
+        scaled = us / self._weight
+        self.stats.add("compute_us", scaled)
+        return self.sim.timeout(scaled)
+
+    def compute_granular(self, us: float):
+        """Generator: compute that stands for a *batch* of fine-grained
+        HPX tasks.
+
+        Real HPX applications express big computations as many small
+        tasks, so the scheduler (and with it the parcelport's background
+        work) runs between them.  A monolithic ``compute`` would starve
+        communication for its whole duration; this slices the work at the
+        platform task granularity and gives the parcelport one background
+        slice per boundary — on the MPI parcelport that is exactly where
+        worker threads queue up on the big progress lock.
+        """
+        remaining = us / self._weight
+        slice_us = self.cost.task_slice_us
+        self.stats.add("compute_us", remaining)
+        while remaining > 0.0:
+            dt = min(slice_us, remaining)
+            remaining -= dt
+            yield self.sim.timeout(dt)
+            if remaining > 0.0:
+                yield from self.locality.parcelport.background_work(self)
+
+    def lock(self, lk: SpinLock):
+        """Generator: blockingly acquire a spin lock (FIFO)."""
+        t0 = self.sim.now
+        yield lk.acquire()
+        self.stats.add("lock_wait_us", self.sim.now - t0)
+
+    # -- main loop ----------------------------------------------------------
+    def start(self) -> None:
+        self.sim.process(self._run(), name=self.name)
+
+    def _run(self):
+        sched = self.locality.sched
+        cost = self.cost
+        rt = self.locality.runtime
+        backoff = cost.idle_poll_min_us
+        since_bg = 0
+        while rt.running:
+            task = sched.try_pop()
+            if task is not None:
+                yield self.cpu(cost.task_dispatch_us)
+                self.stats.inc("tasks_run")
+                body = task.fn(self)
+                if body is not None:
+                    yield from body
+                backoff = cost.idle_poll_min_us
+                # HPX interleaves background work with task scheduling:
+                # even a saturated worker gives the parcelport one slice
+                # every few tasks, else in-flight sends would starve.
+                since_bg += 1
+                if since_bg >= 2:
+                    since_bg = 0
+                    yield from self.locality.parcelport.background_work(self)
+                continue
+
+            did = yield from self.locality.parcelport.background_work(self)
+            self.stats.inc("background_calls")
+            if did:
+                self.stats.inc("background_useful")
+                backoff = cost.idle_poll_min_us
+                continue
+
+            # Nothing to do: sleep until woken or poll timer expires.
+            wake = Event(self.sim)
+            sched.register_sleeper(wake)
+            yield AnyOf(self.sim, [wake, self.sim.timeout(backoff)])
+            sched.unregister_sleeper(wake)
+            backoff = min(backoff * 2.0, cost.idle_poll_max_us)

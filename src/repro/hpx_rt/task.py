@@ -1,0 +1,30 @@
+"""Task objects for the simulated HPX scheduler.
+
+A task body is a callable ``fn(worker) -> generator | None``.  If it returns
+a generator, the worker drives it (the body can ``yield`` simulator events,
+e.g. ``worker.cpu(...)`` or a future's ``wait()``); a plain callable models
+a zero-internal-wait task.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+__all__ = ["Task"]
+
+_task_ids = itertools.count()
+
+
+class Task:
+    """One unit of work for a worker thread."""
+
+    __slots__ = ("fn", "name", "tid")
+
+    def __init__(self, fn: Callable, name: str = ""):
+        self.fn = fn
+        self.name = name or getattr(fn, "__name__", "task")
+        self.tid = next(_task_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Task#{self.tid} {self.name}>"

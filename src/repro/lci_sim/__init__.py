@@ -1,0 +1,10 @@
+"""Simulated LCI (Lightweight Communication Interface) library."""
+
+from .completion import CompletionQueue, HandlerCompletion, Synchronizer
+from .device import LciDevice, LciOp
+from .packet_pool import PacketPool
+from .params import DEFAULT_LCI_PARAMS, LciParams
+
+__all__ = ["LciDevice", "LciOp", "CompletionQueue", "Synchronizer",
+           "HandlerCompletion", "PacketPool", "LciParams",
+           "DEFAULT_LCI_PARAMS"]

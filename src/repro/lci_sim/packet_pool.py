@@ -1,0 +1,53 @@
+"""Pre-registered eager packet pool.
+
+LCI exposes its internal registered buffers (§2.1 'explicit control of
+communication behaviors and resources'); eager sends take a packet from this
+bounded pool and all LCI operations are non-blocking: on exhaustion the call
+fails with a retry status and *the user decides when to retry*.
+"""
+
+from __future__ import annotations
+
+from ..sim.core import Simulator
+from ..sim.stats import StatSet
+from .params import LciParams
+
+__all__ = ["PacketPool"]
+
+
+class PacketPool:
+    """Bounded counter of free registered packets."""
+
+    def __init__(self, sim: Simulator, params: LciParams, name: str = "pool"):
+        self.sim = sim
+        self.params = params
+        self.name = name
+        self.capacity = params.packet_count
+        self.free = params.packet_count
+        self.stats = StatSet(name)
+
+    @property
+    def op_cost_us(self) -> float:
+        return self.params.pool_op_us
+
+    def try_acquire(self) -> bool:
+        """Take one packet; False (retry later) if the pool is empty."""
+        self.stats.inc("acquires")
+        if self.free <= 0:
+            self.stats.inc("exhaustions")
+            return False
+        self.free -= 1
+        return True
+
+    def release(self) -> None:
+        if self.free >= self.capacity:
+            raise RuntimeError(f"{self.name}: double release")
+        self.free += 1
+
+    def release_at(self, delay_us: float) -> None:
+        """Return a packet after ``delay_us`` (e.g. once NIC TX drained it)."""
+        self.sim.schedule_call(max(0.0, delay_us), self.release)
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - self.free

@@ -1,0 +1,8 @@
+"""Simulated MPI (OpenMPI/UCX-like) communication library."""
+
+from .comm import MpiComm
+from .params import DEFAULT_MPI_PARAMS, MAX_TAG, MpiParams
+from .request import ANY_SOURCE, ANY_TAG, Request
+
+__all__ = ["MpiComm", "MpiParams", "DEFAULT_MPI_PARAMS", "MAX_TAG",
+           "Request", "ANY_SOURCE", "ANY_TAG"]

@@ -1,0 +1,69 @@
+"""Tuning constants of the simulated MPI (OpenMPI-over-UCX-like) library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MpiParams", "DEFAULT_MPI_PARAMS", "MAX_TAG"]
+
+#: Upper bound on MPI tag values (the parcelport wraps its counter here —
+#: §3.1 "the tag will wrap around after the MPI tag's upper bound").
+MAX_TAG = 32767
+
+
+@dataclass(frozen=True)
+class MpiParams:
+    """Cost/threshold model of the MPI + UCX layer (µs / bytes).
+
+    The two load-bearing modelling choices (see DESIGN.md §4):
+
+    * ``eager_threshold``: the internal UCX-like eager→rendezvous protocol
+      switch.  The paper observes ``mpi_i`` latency jumping 3–5× above
+      ~1 KB and attributes it to "some protocol switch in the MPI/UCX
+      layer"; this is that switch.
+    * ``match_scan_us`` / ``unexpected_tax_per_byte_us``: tag matching is a
+      **linear scan** of the posted-receive list, and each progress call
+      pays a tax proportional to the buffered unexpected-message bytes
+      (UCX re-walking its queues).  These produce the paper's MPI meltdown
+      under many concurrent messages with distinct tags (Figs 4, 8, 9) and
+      the instability of ``mpi`` under injection pressure (Fig 1).
+    """
+
+    eager_threshold: int = 1024
+    #: per-element cost of scanning the posted-receive list (linear walk
+    #: with a cache miss per element, as in UCX's expected-queue matching)
+    match_scan_us: float = 0.045
+    #: per-element cost of scanning the unexpected queue during irecv
+    unexpected_scan_us: float = 0.045
+    #: per-progress-call tax per buffered unexpected byte
+    unexpected_tax_per_byte_us: float = 2.0e-5
+    #: per-progress-call tax per buffered unexpected *entry* (UCX re-walks
+    #: its pending/rendezvous queues every progress call; this is the
+    #: positive-feedback term behind MPI's decreasing 16 KiB rate, Fig 4)
+    unexpected_tax_per_entry_us: float = 0.002
+    #: base cost of one progress invocation (function call + queue checks)
+    progress_base_us: float = 0.30
+    #: max RX-ring messages drained per progress call
+    progress_batch: int = 8
+    #: cost to enqueue one eager message into the unexpected queue
+    #: (allocation; the data memcpy is charged separately by size)
+    unexpected_alloc_us: float = 0.10
+    #: lock-acquire CAS cost for the coarse progress lock
+    lock_acquire_us: float = 0.04
+    #: CPU cost to initiate isend/irecv (descriptor bookkeeping, sans lock)
+    post_op_us: float = 0.30
+    #: wire protocol header bytes added to every MPI message
+    wire_header_bytes: int = 64
+    #: memcpy throughput for eager copies (µs per byte)
+    memcpy_per_byte_us: float = 0.0001
+    #: UCX-style pipelined rendezvous: data is staged through pre-registered
+    #: bounce buffers in fragments of this size, each copied on both ends —
+    #: the "protocol switch" behind mpi_i's 3-5x latency penalty above 1 KB
+    #: (§4.2) and MPI's collapsing 16 KiB message rates (Fig 4)
+    rndv_frag_bytes: int = 4096
+
+    def with_(self, **kw) -> "MpiParams":
+        return replace(self, **kw)
+
+
+DEFAULT_MPI_PARAMS = MpiParams()

@@ -1,0 +1,60 @@
+"""The interconnect: moves messages between NICs with wire latency.
+
+The fabric is a full crossbar (non-blocking switch, as both Expanse's and
+Rostam's fat-tree InfiniBand effectively are at the 2–32 node scale of the
+paper's runs): the only shared bottlenecks are the per-node NICs themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim.core import Simulator
+from ..sim.stats import StatSet
+from .message import NetMsg
+from .nic import Nic
+from .params import NetworkParams
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """A set of NICs joined by constant-latency links."""
+
+    def __init__(self, sim: Simulator, params: NetworkParams):
+        self.sim = sim
+        self.params = params
+        self.nics: Dict[int, Nic] = {}
+        self.stats = StatSet("fabric")
+
+    def add_node(self, node_id: int) -> Nic:
+        """Create and attach the NIC for ``node_id``."""
+        if node_id in self.nics:
+            raise ValueError(f"node {node_id} already attached")
+        nic = Nic(self.sim, node_id, self.params)
+        nic.fabric = self
+        self.nics[node_id] = nic
+        return nic
+
+    def nic(self, node_id: int) -> Nic:
+        return self.nics[node_id]
+
+    def transmit(self, msg: NetMsg, tx_done_t: float) -> None:
+        """Schedule delivery of ``msg`` at the destination NIC.
+
+        ``tx_done_t`` is the absolute time the source NIC finishes serializing
+        the message; the wire adds ``wire_latency_us`` (loopback messages skip
+        the wire but still pay TX serialization).
+        """
+        dst = self.nics.get(msg.dst)
+        if dst is None:
+            raise KeyError(f"no NIC for destination node {msg.dst}")
+        self.stats.inc("msgs")
+        self.stats.add("bytes", msg.size)
+        wire = 0.0 if msg.dst == msg.src else self.params.wire_latency_us
+        arrive_t = tx_done_t + wire
+        self.sim.schedule_call(arrive_t - self.sim.now,
+                               lambda: dst.deliver(msg))
+
+    def node_ids(self) -> List[int]:
+        return sorted(self.nics)

@@ -1,0 +1,54 @@
+"""Wire-level message descriptors.
+
+A :class:`NetMsg` is what a NIC actually moves: an opaque payload plus the
+handful of header fields the communication libraries above need (kind, tag,
+size).  Payload *content* is carried by reference — only sizes cost time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["NetMsg"]
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class NetMsg:
+    """One message in flight on the fabric.
+
+    Attributes
+    ----------
+    src, dst:
+        Node ids (== NIC ids; one NIC per node in this model).
+    size:
+        Bytes on the wire (headers included).
+    kind:
+        Library-level discriminator (e.g. ``"eager"``, ``"rts"``, ``"cts"``,
+        ``"rdma"``, ``"put"``); interpreted by the receiving library.
+    tag:
+        Matching tag for two-sided traffic (None for one-sided).
+    payload:
+        Arbitrary reference-carried data (never copied; copies are costed
+        explicitly by the layers that perform them).
+    """
+
+    src: int
+    dst: int
+    size: int
+    kind: str
+    tag: Optional[int] = None
+    payload: Any = None
+    #: virtual channel / hardware queue pair: multi-device endpoints
+    #: (the paper's §7.2 future work) keep their traffic separated here
+    vchan: int = 0
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    inject_t: float = 0.0
+    arrive_t: float = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<NetMsg#{self.msg_id} {self.kind} {self.src}->{self.dst} "
+                f"{self.size}B tag={self.tag}>")

@@ -1,0 +1,122 @@
+"""Fat-tree topology: multi-switch fabrics with shared up-links.
+
+The default :class:`~repro.netsim.fabric.Fabric` is a non-blocking
+crossbar, which is accurate for the paper's 2–32 node InfiniBand runs.
+:class:`FatTreeFabric` adds the next level of fidelity: nodes hang off
+leaf switches, and traffic between leaves traverses shared up/down links
+that can be oversubscribed — letting experiments probe what the paper's
+results look like when the *fabric*, not the software stack, starts to
+contend.
+
+Only the two-level (leaf/spine) case is modelled: at the paper's scales
+fat trees behave as leaf switches + a non-blocking core, and the shared
+resource that matters is the leaf up-link group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim.core import Simulator
+from ..sim.primitives import SerialResource
+from .fabric import Fabric
+from .message import NetMsg
+from .params import NetworkParams
+
+__all__ = ["FatTreeFabric"]
+
+
+class FatTreeFabric(Fabric):
+    """Two-level fat tree with per-leaf-switch shared up-links.
+
+    Parameters
+    ----------
+    nodes_per_switch:
+        How many nodes share one leaf switch.
+    oversubscription:
+        Ratio of total downstream bandwidth to up-link bandwidth per leaf
+        switch.  1.0 = fully provisioned (non-blocking); 2.0 means the
+        up-links carry at most half the downstream aggregate.
+    switch_hop_us:
+        Extra one-way latency per additional switch traversed (cross-leaf
+        traffic crosses two more switches than same-leaf traffic).
+    """
+
+    def __init__(self, sim: Simulator, params: NetworkParams,
+                 nodes_per_switch: int = 4,
+                 oversubscription: float = 1.0,
+                 switch_hop_us: float = 0.15):
+        super().__init__(sim, params)
+        if nodes_per_switch < 1:
+            raise ValueError("nodes_per_switch must be >= 1")
+        if oversubscription <= 0:
+            raise ValueError("oversubscription must be positive")
+        self.nodes_per_switch = nodes_per_switch
+        self.oversubscription = oversubscription
+        self.switch_hop_us = switch_hop_us
+        #: per-leaf-switch up-link and down-link pipes (lazily created)
+        self._uplinks: Dict[int, SerialResource] = {}
+        self._downlinks: Dict[int, SerialResource] = {}
+        # Up-link group bandwidth: nodes_per_switch links' worth divided
+        # by the oversubscription factor.
+        self._uplink_bytes_per_us = (params.bytes_per_us * nodes_per_switch
+                                     / oversubscription)
+
+    # ------------------------------------------------------------------
+    def switch_of(self, node_id: int) -> int:
+        return node_id // self.nodes_per_switch
+
+    def _pipe(self, table: Dict[int, SerialResource], switch: int,
+              kind: str) -> SerialResource:
+        pipe = table.get(switch)
+        if pipe is None:
+            pipe = SerialResource(self.sim, f"sw{switch}.{kind}")
+            table[switch] = pipe
+        return pipe
+
+    def transmit(self, msg: NetMsg, tx_done_t: float) -> None:
+        dst = self.nics.get(msg.dst)
+        if dst is None:
+            raise KeyError(f"no NIC for destination node {msg.dst}")
+        self.stats.inc("msgs")
+        self.stats.add("bytes", msg.size)
+        if msg.dst == msg.src:
+            self.sim.schedule_call(tx_done_t - self.sim.now,
+                                   lambda: dst.deliver(msg))
+            return
+        src_sw = self.switch_of(msg.src)
+        dst_sw = self.switch_of(msg.dst)
+        if src_sw == dst_sw:
+            # one switch: plain wire latency, no shared links
+            arrive_t = tx_done_t + self.params.wire_latency_us
+            self.sim.schedule_call(arrive_t - self.sim.now,
+                                   lambda: dst.deliver(msg))
+            return
+        # Cross-leaf: serialize through the source up-link group and the
+        # destination down-link group, plus two extra switch hops.
+        self.stats.inc("cross_switch_msgs")
+        service = msg.size / self._uplink_bytes_per_us
+        up = self._pipe(self._uplinks, src_sw, "up")
+        down = self._pipe(self._downlinks, dst_sw, "down")
+
+        base_wait = max(0.0, tx_done_t - self.sim.now)
+        sim = self.sim
+
+        def after_up(_ev=None, msg=msg):
+            done = down.finish_time(service)
+            arrive = done + self.params.wire_latency_us \
+                + 2 * self.switch_hop_us
+            sim.schedule_call(arrive - sim.now, lambda: dst.deliver(msg))
+
+        def enter_up():
+            up.request(service).add_callback(after_up)
+
+        if base_wait > 0:
+            sim.schedule_call(base_wait, enter_up)
+        else:
+            enter_up()
+
+    # -- introspection ---------------------------------------------------
+    def uplink_utilization(self, switch: int) -> float:
+        pipe = self._uplinks.get(switch)
+        return pipe.utilization() if pipe else 0.0

@@ -1,0 +1,136 @@
+"""Parcelport abstract base and connection objects.
+
+A **connection** (§3.1) manages the chain of sends or receives belonging to
+one HPX message: at most one operation is outstanding per connection at any
+time; the next is posted only when the previous completes.  Sender
+connections are created by the upper layer (and cached unless
+send-immediate); receiver connections are created when a header message
+arrives.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Any, Callable, List, Optional, Tuple, TYPE_CHECKING
+
+from ..hpx_rt.parcel import HpxMessage
+from ..hpx_rt.scheduler import Worker
+from ..sim.stats import StatSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hpx_rt.runtime import Locality
+
+__all__ = ["Connection", "Parcelport", "DetachedWorker"]
+
+_conn_ids = itertools.count()
+
+
+class Connection:
+    """Per-HPX-message chain state (sender or receiver role)."""
+
+    __slots__ = ("dest", "role", "msg", "plan", "stage", "tag_raw", "tag",
+                 "on_complete", "cur", "cid", "piggy_bytes", "src")
+
+    def __init__(self, dest: int, role: str = "send"):
+        self.dest = dest
+        self.role = role                   # "send" | "recv"
+        self.cid = next(_conn_ids)
+        self.reset()
+
+    def reset(self) -> None:
+        """Prepare for (re)use by a new HPX message."""
+        self.msg: Optional[HpxMessage] = None
+        self.plan: List[Tuple[str, int]] = []
+        self.stage = 0
+        self.tag_raw = 0
+        self.tag = 0
+        self.on_complete: Optional[Callable] = None
+        self.cur: Any = None               # in-flight request / completion
+        self.piggy_bytes = 0
+        self.src = -1
+
+    @property
+    def finished_chunks(self) -> bool:
+        return self.stage >= len(self.plan)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Conn#{self.cid} {self.role}->{self.dest} "
+                f"stage={self.stage}/{len(self.plan)}>")
+
+
+class DetachedWorker(Worker):
+    """A worker context not owned by the scheduler.
+
+    Used for boot-time posting and dedicated progress threads: it provides
+    the ``cpu``/``lock`` cost-charging interface without participating in
+    task scheduling.
+    """
+
+    def __init__(self, locality: "Locality", name: str = "detached"):
+        super().__init__(locality, core_id=-1)
+        self.name = f"L{locality.lid}/{name}"
+
+    def start(self) -> None:  # pragma: no cover - misuse guard
+        raise RuntimeError("detached workers are not scheduled")
+
+
+class Parcelport(abc.ABC):
+    """Interface the HPX runtime expects from a parcelport (§2.2)."""
+
+    #: True if this parcelport pins a progress thread to core 0 (the HPX
+    #: resource partitioner's ``rp`` mode) — the runtime then starts one
+    #: fewer worker thread.
+    reserves_progress_core: bool = False
+
+    def __init__(self, locality: "Locality"):
+        self.locality = locality
+        self.sim = locality.sim
+        self.cost = locality.cost
+        self.nic = locality.nic
+        self.stats = StatSet(f"L{locality.lid}.pp")
+        # One background call stands in for `thread_weight` physical
+        # threads' worth of polling (see PlatformSpec docs).
+        self.poll_rounds = max(1, round(locality.platform.thread_weight))
+
+    # -- upper-layer interface ------------------------------------------------
+    def make_connection(self, dest: int) -> Connection:
+        """A fresh (or recycled by the caller) sender connection."""
+        return Connection(dest, role="send")
+
+    @abc.abstractmethod
+    def send_message(self, worker: Worker, conn: Connection,
+                     msg: HpxMessage, on_complete):
+        """Generator: start transferring ``msg`` over ``conn``.
+
+        Returns once the chain is *initiated*; completion is driven by
+        background work, which finally runs the ``on_complete(worker,
+        conn)`` generator.
+        """
+
+    @abc.abstractmethod
+    def background_work(self, worker: Worker, rounds: Optional[int] = None):
+        """Generator → bool: a slice of parcelport progress.
+
+        ``rounds`` overrides the weight-scaled default poll-round count
+        (the scheduler passes ``rounds=1`` for its between-task slices).
+        """
+
+    def start(self) -> None:
+        """Boot-time hook: post persistent receives, spawn progress thread."""
+
+    # -- shared helpers ------------------------------------------------------
+    def _finish(self, worker: Worker, conn: Connection):
+        """Run the completion continuation of a finished sender chain."""
+        self.stats.inc("sends_completed")
+        cb = conn.on_complete
+        conn.on_complete = None
+        if cb is not None:
+            result = cb(worker, conn)
+            if result is not None:  # generator continuation
+                yield from result
+
+    def _deliver(self, msg: HpxMessage) -> None:
+        """Hand a fully received HPX message to the runtime."""
+        self.stats.inc("messages_delivered")
+        self.locality.on_message(msg)

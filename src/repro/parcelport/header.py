@@ -1,0 +1,67 @@
+"""Header-message planning with piggybacking.
+
+Every HPX message starts with a protocol **header message** carrying
+metadata (follow-up tag, chunk sizes/existence).  Small chunks piggyback on
+it (§3.1): the improved parcelports can piggyback both the non-zero-copy
+chunk *and* the transmission chunk up to ``max_header`` (== the zero-copy
+serialization threshold); the original MPI variant had a static 512-byte
+header and could piggyback only the non-zero-copy chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..hpx_rt.parcel import HpxMessage
+
+__all__ = ["HeaderPlan", "plan_header", "HEADER_BASE_BYTES",
+           "ORIGINAL_MAX_HEADER"]
+
+#: bare metadata bytes in every header message
+HEADER_BASE_BYTES = 40
+#: static header size of the original MPI parcelport (§3.1)
+ORIGINAL_MAX_HEADER = 512
+
+
+@dataclass
+class HeaderPlan:
+    """What goes in the header message and what needs follow-up messages."""
+
+    header_size: int
+    piggy_non_zc: bool
+    piggy_trans: bool
+    #: ordered (kind, size) chunks that still need their own message
+    followups: List[Tuple[str, int]]
+
+    @property
+    def piggybacked_bytes(self) -> int:
+        return self.header_size - HEADER_BASE_BYTES
+
+    @property
+    def n_followups(self) -> int:
+        return len(self.followups)
+
+
+def plan_header(msg: HpxMessage, max_header: int,
+                piggyback_trans: bool = True) -> HeaderPlan:
+    """Decide piggybacking for ``msg`` given a header-size budget."""
+    if max_header < HEADER_BASE_BYTES:
+        raise ValueError(f"max_header {max_header} below metadata size")
+    chunks = msg.chunk_plan()
+    size = HEADER_BASE_BYTES
+    piggy_non_zc = False
+    piggy_trans = False
+    followups: List[Tuple[str, int]] = []
+    for kind, csize in chunks:
+        if kind == "non_zc" and size + csize <= max_header:
+            size += csize
+            piggy_non_zc = True
+        elif (kind == "trans" and piggyback_trans
+              and size + csize <= max_header):
+            size += csize
+            piggy_trans = True
+        else:
+            followups.append((kind, csize))
+    return HeaderPlan(header_size=size, piggy_non_zc=piggy_non_zc,
+                      piggy_trans=piggy_trans, followups=followups)

@@ -1,0 +1,381 @@
+"""The LCI parcelport (§3.2): baseline and all research variants.
+
+Variant axes (all combinations supported, cf. Table 1):
+
+* **protocol** — ``psr`` (putsendrecv): the header travels as a one-sided
+  dynamic put landing in a pre-configured completion queue; ``sr``
+  (sendrecv): the header uses two-sided send/receive with one persistent
+  posted receive, like the MPI parcelport.
+* **completion** — ``cq``: one completion queue for all chunk completions;
+  ``sy``: one synchronizer per operation, kept in a spinlock-protected
+  pending list scanned round-robin (the paper's request-pool analogue).
+  Header puts *always* complete into a CQ (a documented limitation of the
+  current LCI put, §3.2.2).
+* **progress** — ``pin``: one dedicated progress thread created through the
+  HPX resource partitioner and pinned to core 0; ``worker``: every worker
+  thread calls the (thread-safe, try-lock) progress function when idle.
+
+Tag management: a distinct tag per *follow-up message* (not per
+connection), because LCI does not guarantee in-order delivery (§3.2.1);
+a block of ``n`` tags is drawn from the shared atomic counter per message.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple, TYPE_CHECKING
+
+from ..hpx_rt.parcel import HpxMessage
+from ..lci_sim.completion import CompletionQueue, Synchronizer
+from ..lci_sim.device import LciDevice
+from ..lci_sim.params import DEFAULT_LCI_PARAMS, LciParams
+from ..sim.primitives import SpinLock
+from .base import Connection, DetachedWorker, Parcelport
+from .config import PPConfig
+from .header import plan_header
+from .tagging import TagAllocator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hpx_rt.runtime import Locality
+
+__all__ = ["LciParcelport"]
+
+#: LCI tag reserved for header messages in the ``sr`` protocol.
+HEADER_TAG = 0
+#: retry backoff when the packet pool is exhausted (LCI ops never block)
+RETRY_US = 1.0
+#: LCI tags are wide; wraparound is effectively never exercised
+LCI_MAX_TAG = 1 << 20
+#: CPU cost to decode one header message
+HEADER_DECODE_US = 0.20
+#: CQ entries drained per background slice
+CQ_POPS_PER_SLICE = 8
+#: synchronizers tested per background slice (sy mode)
+SYNC_SCAN_LIMIT = 8
+
+
+class LciParcelport(Parcelport):
+    """HPX's LCI parcelport on the simulated LCI library."""
+
+    def __init__(self, locality: "Locality", config: Optional[PPConfig] = None,
+                 lci_params: LciParams = DEFAULT_LCI_PARAMS):
+        super().__init__(locality)
+        self.config = config or PPConfig(backend="lci")
+        if self.config.backend != "lci":
+            raise ValueError("LciParcelport needs an lci config")
+        self.protocol = self.config.protocol
+        self.completion = self.config.completion
+        self.reserves_progress_core = self.config.progress == "pin"
+        # One or more LCI devices (num_devices > 1 implements the paper's
+        # §7.2 future work: replicated network resources, each with its
+        # own packet pool, matching table, progress engine and RX channel).
+        self.devices = []
+        self.header_cqs = []
+        for d in range(max(1, lci_params.num_devices)):
+            dev = LciDevice(self.sim, self.nic, rank=locality.lid,
+                            params=lci_params, vchan=d)
+            dev.notify = locality.sched.notify
+            # Pre-configured remote completion queue for dynamic puts.
+            cq = CompletionQueue(self.sim, lci_params,
+                                 name=f"L{locality.lid}.hdr_cq{d}")
+            dev.put_target_cq = cq
+            self.devices.append(dev)
+            self.header_cqs.append(cq)
+        self.device = self.devices[0]
+        self.header_cq = self.header_cqs[0]
+        # Single completion queue for all chunk completions (cq mode).
+        self.comp_cq = CompletionQueue(self.sim, lci_params,
+                                       name=f"L{locality.lid}.comp_cq")
+        # Pending synchronizer list (sy mode).
+        self.sync_pending: Deque[Synchronizer] = deque()
+        self.sync_lock = SpinLock(self.sim, f"L{locality.lid}.sync_pending",
+                                  acquire_cost=self.cost.spinlock_acquire_us)
+        self.tags = TagAllocator(self.sim, LCI_MAX_TAG)
+        self._sys = DetachedWorker(locality, name="lci_boot")
+        self._progress_worker = DetachedWorker(locality, name="lci_progress")
+
+    # ------------------------------------------------------------------
+    # boot
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.protocol == "sr":
+            self.sim.process(self._boot_sr(),
+                             name=f"L{self.locality.lid}.lci_boot")
+        if self.reserves_progress_core:
+            self.sim.process(self._progress_loop(),
+                             name=f"L{self.locality.lid}.lci_progress")
+
+    def _boot_sr(self):
+        for dev in self.devices:
+            yield from self._post_header_recv(self._sys, dev)
+
+    def _post_header_recv(self, worker, dev):
+        """``sr`` protocol: keep exactly one header receive posted
+        per device."""
+        comp = self._new_completion()
+        if isinstance(comp, Synchronizer):
+            yield from self._register_sync(worker, comp)
+        yield from dev.recvm(worker, HEADER_TAG,
+                             self.cost.max_header_size, comp,
+                             ctx=("header", dev.vchan))
+
+    # ------------------------------------------------------------------
+    # dedicated progress thread (the ``pin`` / ``rp`` mode)
+    # ------------------------------------------------------------------
+    def _progress_loop(self):
+        w = self._progress_worker
+        rt = self.locality.runtime
+        sched = self.locality.sched
+        while rt.running:
+            handled = 0
+            for dev in self.devices:
+                n = yield from dev.progress(w, caller="pin")
+                if n > 0:
+                    handled += n
+            if handled:
+                # Completions were pushed; make sure a worker notices.
+                sched.notify()
+                continue
+            if self.nic.rx_pending() == 0:
+                yield self.nic.arrival_event()
+
+    # ------------------------------------------------------------------
+    # completion plumbing
+    # ------------------------------------------------------------------
+    def _new_completion(self):
+        """A completion object per the configured mechanism."""
+        if self.completion == "cq":
+            return self.comp_cq
+        return Synchronizer()
+
+    def _register_sync(self, worker, sync: Synchronizer):
+        """sy mode: track one pending synchronizer (spinlock-guarded list)."""
+        yield from worker.lock(self.sync_lock)
+        self.sync_pending.append(sync)
+        self.sync_lock.release()
+
+    def _device_for(self, tag_raw: int):
+        """Device selection: both ends derive it from the tag block."""
+        return self.devices[tag_raw % len(self.devices)]
+
+    # ------------------------------------------------------------------
+    # send path
+    # ------------------------------------------------------------------
+    def send_message(self, worker, conn: Connection, msg: HpxMessage,
+                     on_complete):
+        cost = self.cost
+        conn.reset()
+        conn.msg = msg
+        conn.on_complete = on_complete
+        plan = plan_header(msg, cost.max_header_size, piggyback_trans=True)
+        conn.plan = plan.followups
+        conn.piggy_bytes = plan.piggybacked_bytes
+        n = len(plan.followups)
+        # Always draw a tag block: it also selects the device, which both
+        # ends must agree on (the header carries the raw value).
+        conn.tag_raw = yield from self.tags.draw(worker, max(1, n))
+        device = self._device_for(conn.tag_raw)
+        # The header is assembled directly in an LCI-provided buffer —
+        # the memcpy the MPI parcelport pays here is saved (§3.2.1).
+        yield worker.cpu(cost.alloc_us)
+        payload = ("hdr", msg, plan.followups, conn.tag_raw,
+                   plan.piggybacked_bytes)
+        if self.protocol == "psr":
+            while True:
+                ok = yield from device.putva(
+                    worker, msg.dest, plan.header_size, payload=payload,
+                    assembled_in_place=True)
+                if ok:
+                    break
+                self.stats.inc("pool_retries")
+                yield self.sim.timeout(RETRY_US)
+        else:  # sr: two-sided header
+            while True:
+                ok = yield from device.sendm(
+                    worker, msg.dest, plan.header_size, HEADER_TAG,
+                    comp=None, payload=payload)
+                if ok:
+                    break
+                self.stats.inc("pool_retries")
+                yield self.sim.timeout(RETRY_US)
+        self.stats.inc("header_sends")
+        # Header is locally complete at injection; continue with chunks.
+        if n == 0:
+            yield from self._finish(worker, conn)
+        else:
+            yield from self._post_next_send(worker, conn)
+
+    def _post_next_send(self, worker, conn: Connection):
+        device = self._device_for(conn.tag_raw)
+        kind, size = conn.plan[conn.stage]
+        tag = self.tags.tag(conn.tag_raw, conn.stage)
+        conn.stage += 1
+        comp = self._new_completion()
+        if isinstance(comp, Synchronizer):
+            yield from self._register_sync(worker, comp)
+        if size <= device.params.eager_threshold:
+            while True:
+                ok = yield from device.sendm(
+                    worker, conn.dest, size, tag, comp,
+                    ctx=("send", conn), payload=("chunk", kind))
+                if ok:
+                    break
+                self.stats.inc("pool_retries")
+                yield self.sim.timeout(RETRY_US)
+        else:
+            yield from device.sendl(worker, conn.dest, size, tag, comp,
+                                    ctx=("send", conn),
+                                    payload=("chunk", kind))
+        self.stats.inc("chunk_sends")
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def _handle_header(self, worker, payload):
+        _kind, msg, followups, tag_raw, piggy_bytes = payload
+        yield worker.cpu(HEADER_DECODE_US)
+        if not followups:
+            # Deserialization reads straight out of the LCI buffer — no
+            # copy-out (unlike the MPI parcelport's header path).
+            self._deliver(msg)
+            return
+        conn = Connection(msg.src, role="recv")
+        conn.msg = msg
+        conn.plan = list(followups)
+        conn.tag_raw = tag_raw
+        conn.src = msg.src
+        yield worker.cpu(self.cost.alloc_us)
+        self.stats.inc("recv_connections")
+        yield from self._post_next_recv(worker, conn)
+
+    def _post_next_recv(self, worker, conn: Connection):
+        device = self._device_for(conn.tag_raw)
+        kind, size = conn.plan[conn.stage]
+        tag = self.tags.tag(conn.tag_raw, conn.stage)
+        conn.stage += 1
+        comp = self._new_completion()
+        if isinstance(comp, Synchronizer):
+            yield from self._register_sync(worker, comp)
+        if size <= device.params.eager_threshold:
+            yield from device.recvm(worker, tag, size, comp,
+                                    ctx=("recv", conn))
+        else:
+            yield from device.recvl(worker, tag, size, comp,
+                                    ctx=("recv", conn))
+        self.stats.inc("chunk_recvs")
+
+    # ------------------------------------------------------------------
+    # completion dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, worker, entry: Tuple):
+        """Advance whatever a completion entry belongs to."""
+        what = entry[0]
+        if what == "put":
+            # ("put", ctx, payload, size) — header arrival (psr)
+            _w, _ctx, payload, _size = entry
+            yield from self._handle_header(worker, payload)
+            self.stats.inc("headers_received")
+            return
+        if what == "send":
+            # ("send", ("send", conn)) — a chunk send completed
+            _w, ctx = entry
+            conn = ctx[1]
+            if conn.finished_chunks:
+                yield from self._finish(worker, conn)
+            else:
+                yield from self._post_next_send(worker, conn)
+            return
+        if what == "recv":
+            ctx = entry[1]
+            if isinstance(ctx, tuple) and ctx[0] == "header":
+                # sr-protocol header arrived: repost, then decode.
+                payload = entry[2]
+                yield from self._post_header_recv(worker,
+                                                  self.devices[ctx[1]])
+                yield from self._handle_header(worker, payload)
+                self.stats.inc("headers_received")
+                return
+            conn = ctx[1]
+            if conn.finished_chunks:
+                self._deliver(conn.msg)
+            else:
+                yield from self._post_next_recv(worker, conn)
+            return
+        raise ValueError(f"unknown completion entry {entry!r}")
+
+    # ------------------------------------------------------------------
+    # background work (§3.2.1 "Threads and background work")
+    # ------------------------------------------------------------------
+    def background_work(self, worker, rounds=None):
+        did_any = False
+        idle_rounds = 0
+        for _ in range(rounds if rounds is not None else self.poll_rounds):
+            did = yield from self._background_once(worker)
+            if did:
+                did_any = True
+                idle_rounds = 0
+            else:
+                idle_rounds += 1
+                if idle_rounds >= 2:
+                    break
+        return did_any
+
+    def _background_once(self, worker):
+        yield worker.cpu(self.cost.background_call_us)
+        did = False
+        if not self.reserves_progress_core:
+            # worker-progress mode: idle threads drive the LCI engines
+            for dev in self.devices:
+                n = yield from dev.progress(worker, caller=id(worker))
+                if n > 0:
+                    did = True
+        # Drain header completions (always a CQ — LCI put limitation).
+        if self.protocol == "psr":
+            for cq in self.header_cqs:
+                for _ in range(CQ_POPS_PER_SLICE):
+                    entry, pop_cost = cq.pop()
+                    yield worker.cpu(pop_cost)
+                    if entry is None:
+                        break
+                    yield from self._dispatch(worker, entry)
+                    did = True
+        # Drain chunk completions.
+        if self.completion == "cq":
+            for _ in range(CQ_POPS_PER_SLICE):
+                entry, pop_cost = self.comp_cq.pop()
+                yield worker.cpu(pop_cost)
+                if entry is None:
+                    break
+                yield from self._dispatch(worker, entry)
+                did = True
+        else:
+            did = (yield from self._scan_syncs(worker)) or did
+        return did
+
+    def _scan_syncs(self, worker):
+        """sy mode: round-robin test the pending synchronizer list.
+
+        The scan happens *while holding* the pending-list spinlock (as the
+        HPX pending-connection scan does) — this serialization across
+        worker threads is precisely the request-pool overhead that makes
+        ``sy`` trail ``cq`` by 25-30 % in Figs 5/6.
+        """
+        if not self.sync_pending:
+            return False
+        yield from worker.lock(self.sync_lock)
+        did = False
+        ready = []
+        keep = []
+        for _ in range(min(SYNC_SCAN_LIMIT, len(self.sync_pending))):
+            sync = self.sync_pending.popleft()
+            yield worker.cpu(self.device.params.sync_test_us)
+            if sync.test():
+                ready.append(sync)
+            else:
+                keep.append(sync)
+        self.sync_pending.extend(keep)
+        self.sync_lock.release()
+        for sync in ready:
+            did = True
+            yield from self._dispatch(worker, sync.value)
+        return did

@@ -1,0 +1,87 @@
+"""Tag management for parcelport connections.
+
+Both parcelports draw tags from a shared atomic counter (§3.1/§3.2) that
+wraps around at the tag upper bound; tag 0 is reserved for header messages
+(and tag 1 for the original MPI variant's tag-release protocol).  Safety
+relies on the paper's stated assumption: a connection pair reusing a tag
+value is always complete before the value comes around again.
+
+The original MPI parcelport used a **tag provider**: a lock-protected
+free-list refilled by "tag release" messages; :class:`TagProvider`
+reproduces it for the §3.1 ablation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.core import Simulator
+from ..sim.primitives import AtomicCell, SpinLock
+
+__all__ = ["TagAllocator", "TagProvider", "tag_of", "FIRST_DYNAMIC_TAG"]
+
+#: 0 = header messages, 1 = tag-release messages (original MPI variant).
+FIRST_DYNAMIC_TAG = 2
+
+
+def tag_of(raw: int, offset: int, max_tag: int) -> int:
+    """Map a raw counter value (+offset) into the dynamic tag range."""
+    span = max_tag - FIRST_DYNAMIC_TAG + 1
+    return FIRST_DYNAMIC_TAG + (raw + offset) % span
+
+
+class TagAllocator:
+    """Shared atomic tag counter (the current scheme in both parcelports)."""
+
+    def __init__(self, sim: Simulator, max_tag: int, name: str = "tags"):
+        self.max_tag = max_tag
+        self._counter = AtomicCell(sim, name, op_cost=0.02)
+
+    def draw(self, worker, count: int = 1):
+        """Generator → raw counter base for ``count`` consecutive tags."""
+        raw = yield self._counter.fetch_add(count)
+        return raw
+
+    def tag(self, raw: int, offset: int = 0) -> int:
+        return tag_of(raw, offset, self.max_tag)
+
+
+class TagProvider:
+    """Original-variant tag provider: lock-protected free list + counter.
+
+    ``draw`` pops a released tag if available, else mints a new one;
+    ``release`` pushes a tag back (fed by "tag release" messages from the
+    receiver in the original MPI parcelport).
+    """
+
+    def __init__(self, sim: Simulator, max_tag: int, name: str = "tagprov",
+                 list_op_us: float = 0.05):
+        self.sim = sim
+        self.max_tag = max_tag
+        self.lock = SpinLock(sim, name + ".lock")
+        self.list_op_us = list_op_us
+        self._free: List[int] = []
+        self._next = 0
+
+    def draw(self, worker):
+        """Generator → a concrete tag (not a raw counter)."""
+        yield from worker.lock(self.lock)
+        yield worker.cpu(self.list_op_us)
+        if self._free:
+            tag = self._free.pop()
+        else:
+            tag = tag_of(self._next, 0, self.max_tag)
+            self._next += 1
+        self.lock.release()
+        return tag
+
+    def release(self, worker, tag: int):
+        """Generator: return a tag to the free list."""
+        yield from worker.lock(self.lock)
+        yield worker.cpu(self.list_op_us)
+        self._free.append(tag)
+        self.lock.release()
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)

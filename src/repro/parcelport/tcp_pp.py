@@ -1,0 +1,68 @@
+"""The TCP parcelport — HPX's legacy backend (paper §1).
+
+Before the LCI work, HPX shipped two parcelports: TCP and MPI, with MPI
+being the faster one.  This reproduction includes the TCP parcelport both
+for completeness and as the sanity floor every comparison should clear.
+
+Design: one kernel TCP stream per destination; an HPX message travels as a
+single length-prefixed blob (streams preserve order and have no tag
+matching, so the header/chunk chain of the RDMA-style parcelports is
+unnecessary — the "header" is just the frame's metadata).  Receives are
+polled from background work via the stack's epoll-style :meth:`poll`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..hpx_rt.parcel import HpxMessage
+from ..tcp_sim.params import DEFAULT_TCP_PARAMS, TcpParams
+from ..tcp_sim.stack import TcpStack
+from .base import Connection, Parcelport
+from .config import PPConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hpx_rt.runtime import Locality
+
+__all__ = ["TcpParcelport"]
+
+#: frame metadata bytes prepended to every HPX message on the stream
+FRAME_HEADER_BYTES = 24
+
+
+class TcpParcelport(Parcelport):
+    """HPX's TCP parcelport on the simulated kernel TCP stack."""
+
+    reserves_progress_core = False
+
+    def __init__(self, locality: "Locality",
+                 config: Optional[PPConfig] = None,
+                 tcp_params: TcpParams = DEFAULT_TCP_PARAMS):
+        super().__init__(locality)
+        self.config = config
+        self.tcp = TcpStack(self.sim, self.nic, rank=locality.lid,
+                            params=tcp_params)
+
+    # ------------------------------------------------------------------
+    def send_message(self, worker, conn: Connection, msg: HpxMessage,
+                     on_complete):
+        conn.reset()
+        conn.msg = msg
+        conn.on_complete = on_complete
+        size = FRAME_HEADER_BYTES + msg.total_bytes
+        yield from self.tcp.send_msg(worker, msg.dest, size, meta=msg)
+        self.stats.inc("frames_sent")
+        # Stream semantics: the send completes once buffered; the
+        # connection is immediately reusable.
+        yield from self._finish(worker, conn)
+
+    def background_work(self, worker, rounds=None):
+        did = False
+        for _ in range(rounds if rounds is not None else self.poll_rounds):
+            ready = yield from self.tcp.poll(worker)
+            if not ready:
+                break
+            did = True
+            for _src, msg in ready:
+                self._deliver(msg)
+        return did

@@ -1,0 +1,112 @@
+"""Queues used throughout the simulated communication stack.
+
+* :class:`FifoChannel` — blocking producer/consumer channel between
+  simulated processes (used for task queues, RX rings).
+* :class:`MPSCQueue` — a multi-producer single-consumer queue with the cost
+  structure of an LCI completion queue: pushes contend on the tail atomic;
+  a pop is a cheap single-consumer operation.  The paper's lesson *"polling
+  one completion queue is preferable to polling multiple requests"* falls
+  out of this asymmetry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .core import Event, Simulator
+from .primitives import AtomicCell
+
+__all__ = ["FifoChannel", "MPSCQueue"]
+
+
+class FifoChannel:
+    """Unbounded FIFO with blocking ``get``; zero modelled cost.
+
+    Pure plumbing — use :class:`MPSCQueue` when the queue itself is a
+    contended data structure whose cost matters.
+    """
+
+    __slots__ = ("sim", "_items", "_getters", "name")
+
+    def __init__(self, sim: Simulator, name: str = "chan"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        return self._items.popleft() if self._items else None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class MPSCQueue:
+    """Multi-producer single-consumer completion queue.
+
+    ``push`` serializes on a tail :class:`AtomicCell` (producers from many
+    threads contend there); ``pop`` costs a flat ``pop_cost`` and never
+    contends.  ``pop`` is non-blocking and returns ``None`` when empty —
+    matching LCI's ``LCI_queue_pop`` semantics.
+
+    Costs are charged to the *caller* via the returned event (push) or via
+    the out-parameter cost (pop), because in the real system those cycles
+    run on the calling thread.
+    """
+
+    __slots__ = ("sim", "name", "_items", "_tail", "pop_cost",
+                 "pushes", "pops", "empty_pops", "max_depth")
+
+    def __init__(self, sim: Simulator, name: str = "cq",
+                 push_cost: float = 0.05, pop_cost: float = 0.03,
+                 contention_factor: float = 0.4):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._tail = AtomicCell(sim, name + ".tail", op_cost=push_cost,
+                                contention_factor=contention_factor)
+        self.pop_cost = pop_cost
+        self.pushes = 0
+        self.pops = 0
+        self.empty_pops = 0
+        self.max_depth = 0
+
+    def push(self, item: Any) -> Event:
+        """Enqueue; the returned event fires when the push retires."""
+        self.pushes += 1
+        ev = self._tail.fetch_add(1)
+        done = Event(self.sim)
+
+        def _commit(_e: Event) -> None:
+            self._items.append(item)
+            self.max_depth = max(self.max_depth, len(self._items))
+            done.succeed()
+
+        ev.add_callback(_commit)
+        return done
+
+    def pop(self) -> "tuple[Optional[Any], float]":
+        """Dequeue one item; returns ``(item_or_None, cpu_cost_us)``."""
+        self.pops += 1
+        if self._items:
+            return self._items.popleft(), self.pop_cost
+        self.empty_pops += 1
+        return None, self.pop_cost * 0.5  # empty check is cheaper
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,89 @@
+"""Lightweight statistics collection for simulated components.
+
+Every layer (NIC, progress engine, parcelport, scheduler) owns a
+:class:`StatSet`, so the benchmark harness can report paper-style breakdowns
+(lock wait time, progress-call counts, messages by protocol) without the
+components knowing about the harness.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+__all__ = ["StatSet", "TimeSeries", "summarize"]
+
+
+class TimeSeries:
+    """Append-only (time, value) samples with summary helpers."""
+
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, t: float, v: float) -> None:
+        self.samples.append((t, v))
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.samples]
+
+    def mean(self) -> float:
+        vals = self.values()
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def max(self) -> float:
+        vals = self.values()
+        return max(vals) if vals else 0.0
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class StatSet:
+    """A named bag of counters, accumulators and time series."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.counters: Dict[str, int] = defaultdict(int)
+        self.accum: Dict[str, float] = defaultdict(float)
+        self.series: Dict[str, TimeSeries] = defaultdict(TimeSeries)
+
+    def inc(self, key: str, n: int = 1) -> None:
+        self.counters[key] += n
+
+    def add(self, key: str, v: float) -> None:
+        self.accum[key] += v
+
+    def sample(self, key: str, t: float, v: float) -> None:
+        self.series[key].record(t, v)
+
+    def merge(self, other: "StatSet") -> None:
+        for k, v in other.counters.items():
+            self.counters[k] += v
+        for k, v in other.accum.items():
+            self.accum[k] += v
+        for k, ts in other.series.items():
+            self.series[k].samples.extend(ts.samples)
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        out.update(self.counters)
+        out.update(self.accum)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = [f"{k}={v}" for k, v in sorted(self.as_dict().items())]
+        return f"<StatSet {self.name}: {', '.join(parts)}>"
+
+
+def summarize(values: List[float]) -> Dict[str, float]:
+    """mean/std/min/max of a sample list (population std, paper-style)."""
+    if not values:
+        return {"mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0, "n": 0}
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return {"mean": mean, "std": math.sqrt(var),
+            "min": min(values), "max": max(values), "n": n}

@@ -1,0 +1,91 @@
+"""Event tracing: a ring buffer of annotated simulation events.
+
+Components call ``tracer.emit(category, text, **fields)``; the harness (or
+a debugging session) filters and renders them.  Tracing is off by default
+and costs nothing when disabled — the hot paths guard with
+``if tracer.enabled``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional
+
+from .core import Simulator
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass
+class TraceEvent:
+    """One annotated moment of simulated time."""
+
+    t: float
+    category: str
+    text: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.t:12.3f}us] {self.category:<12} {self.text}" \
+            + (f" ({extra})" if extra else "")
+
+
+class Tracer:
+    """Bounded in-memory trace with category filtering."""
+
+    def __init__(self, sim: Simulator, capacity: int = 10000,
+                 enabled: bool = False):
+        self.sim = sim
+        self.capacity = capacity
+        self.enabled = enabled
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._categories: Optional[set] = None   # None = everything
+        self.dropped = 0
+
+    # -- configuration -------------------------------------------------------
+    def enable(self, categories: Optional[Iterable[str]] = None) -> None:
+        """Turn tracing on, optionally restricted to some categories."""
+        self.enabled = True
+        self._categories = set(categories) if categories else None
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # -- recording -----------------------------------------------------------
+    def emit(self, category: str, text: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        if self._categories is not None and category not in self._categories:
+            return
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(TraceEvent(self.sim.now, category, text,
+                                       fields))
+
+    # -- querying ---------------------------------------------------------
+    def events(self, category: Optional[str] = None,
+               since: float = 0.0,
+               predicate: Optional[Callable[[TraceEvent], bool]] = None
+               ) -> List[TraceEvent]:
+        out = []
+        for ev in self._events:
+            if ev.t < since:
+                continue
+            if category is not None and ev.category != category:
+                continue
+            if predicate is not None and not predicate(ev):
+                continue
+            out.append(ev)
+        return out
+
+    def render(self, **kw: Any) -> str:
+        return "\n".join(ev.render() for ev in self.events(**kw))
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)

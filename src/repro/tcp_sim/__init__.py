@@ -1,0 +1,6 @@
+"""Simulated kernel TCP stack (substrate for HPX's legacy TCP parcelport)."""
+
+from .params import DEFAULT_TCP_PARAMS, TcpParams
+from .stack import TcpStack, TcpStream
+
+__all__ = ["TcpStack", "TcpStream", "TcpParams", "DEFAULT_TCP_PARAMS"]

@@ -1,0 +1,41 @@
+"""Tuning constants of the simulated kernel TCP stack.
+
+TCP goes through the operating system: every send/receive pays a syscall
+and a kernel/user copy, segments are limited by the MSS, and receives are
+discovered by polling readiness (the HPX TCP parcelport sits on asio's
+epoll loop).  These constants are what make the TCP parcelport the slowest
+backend, as the paper's introduction takes as given.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["TcpParams", "DEFAULT_TCP_PARAMS"]
+
+
+@dataclass(frozen=True)
+class TcpParams:
+    """Cost model of the in-kernel TCP path (µs / bytes)."""
+
+    #: one send()/recv() syscall (user->kernel transition and back)
+    syscall_us: float = 1.8
+    #: kernel/user copy throughput (µs per byte; slower than userspace
+    #: memcpy because of the uncached socket buffers)
+    copy_per_byte_us: float = 0.00025
+    #: maximum segment size on the wire
+    mss_bytes: int = 65536
+    #: per-segment kernel processing (protocol stack traversal)
+    segment_us: float = 0.9
+    #: TCP/IP header bytes per segment
+    segment_header_bytes: int = 66
+    #: epoll_wait-style readiness poll when nothing is pending
+    poll_idle_us: float = 0.4
+    #: connection-establishment handshake time (3-way, one RTT + work)
+    connect_us: float = 30.0
+
+    def with_(self, **kw) -> "TcpParams":
+        return replace(self, **kw)
+
+
+DEFAULT_TCP_PARAMS = TcpParams()

@@ -1,0 +1,157 @@
+"""Simulated TCP: in-order byte streams over the NIC fabric.
+
+One :class:`TcpStack` per locality; a :class:`TcpStream` per peer (lazily
+connected).  Sends segment the payload at the MSS, pay syscall + copy +
+per-segment kernel costs, and ride the same simulated NIC/fabric as the
+RDMA-style traffic — so bandwidth and wire latency are shared, but TCP
+additionally pays the operating-system toll on both ends.
+
+Message framing is length-prefixed: the application hands whole messages
+to :meth:`TcpStack.send_msg`; the receive side reassembles segments in
+order and surfaces complete messages via :meth:`TcpStack.poll`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..netsim.message import NetMsg
+from ..netsim.nic import Nic
+from ..sim.core import Simulator
+from ..sim.stats import StatSet
+from .params import DEFAULT_TCP_PARAMS, TcpParams
+
+__all__ = ["TcpStack", "TcpStream"]
+
+
+class TcpStream:
+    """One established connection's per-peer state."""
+
+    __slots__ = ("peer", "connected_at", "rx_segments", "rx_expected",
+                 "rx_have", "rx_meta", "tx_msgs", "rx_msgs")
+
+    def __init__(self, peer: int, now: float):
+        self.peer = peer
+        self.connected_at = now
+        #: reassembly state for the message currently being received
+        self.rx_expected = 0
+        self.rx_have = 0
+        self.rx_meta: Any = None
+        self.tx_msgs = 0
+        self.rx_msgs = 0
+
+
+class TcpStack:
+    """One locality's TCP endpoint (socket table + readiness polling)."""
+
+    def __init__(self, sim: Simulator, nic: Nic, rank: int,
+                 params: TcpParams = DEFAULT_TCP_PARAMS):
+        self.sim = sim
+        self.nic = nic
+        self.rank = rank
+        self.params = params
+        self.streams: Dict[int, TcpStream] = {}
+        #: fully reassembled incoming messages, ready for the application
+        self._ready: Deque[Tuple[int, Any]] = deque()
+        self.stats = StatSet(f"tcp{rank}")
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def stream_to(self, worker, peer: int):
+        """Generator → :class:`TcpStream`; connects lazily (3-way cost)."""
+        stream = self.streams.get(peer)
+        if stream is None:
+            yield worker.cpu(self.params.connect_us)
+            stream = TcpStream(peer, self.sim.now)
+            self.streams[peer] = stream
+            self.stats.inc("connects")
+        return stream
+
+    # ------------------------------------------------------------------
+    # send path
+    # ------------------------------------------------------------------
+    def send_msg(self, worker, peer: int, size: int, meta: Any = None):
+        """Generator: write one length-prefixed message to ``peer``.
+
+        Segments at the MSS; each segment pays a syscall, the kernel copy
+        of its bytes, and per-segment stack traversal.  Returns once the
+        last byte is handed to the NIC (socket-buffer semantics: the
+        sender does not wait for delivery).
+        """
+        p = self.params
+        stream = yield from self.stream_to(worker, peer)
+        remaining = max(size, 1)
+        first = True
+        while remaining > 0:
+            seg = min(p.mss_bytes, remaining)
+            remaining -= seg
+            yield worker.cpu(p.syscall_us + p.segment_us
+                             + seg * p.copy_per_byte_us)
+            last = remaining == 0
+            post_cost = self.nic.post_send(NetMsg(
+                src=self.rank, dst=peer,
+                size=seg + p.segment_header_bytes, kind="tcp_seg",
+                payload=("seg", seg, size if first else None,
+                         meta if first else None, last)))
+            yield worker.cpu(post_cost)
+            first = False
+            self.stats.inc("segments_sent")
+        stream.tx_msgs += 1
+        self.stats.inc("msgs_sent")
+        self.stats.add("bytes_sent", size)
+
+    # ------------------------------------------------------------------
+    # receive path (polled, epoll style)
+    # ------------------------------------------------------------------
+    def poll(self, worker, max_segments: int = 16):
+        """Generator → list of ``(src, meta)`` completed messages.
+
+        Drains up to ``max_segments`` TCP segments from the NIC RX ring,
+        paying the kernel receive costs, and reassembles streams in order.
+        An empty poll costs the idle epoll check.
+        """
+        p = self.params
+        out: List[Tuple[int, Any]] = []
+        if not self.nic.rx_ring:
+            yield worker.cpu(p.poll_idle_us)
+            while self._ready:
+                out.append(self._ready.popleft())
+            return out
+        handled = 0
+        while handled < max_segments:
+            msg = self.nic.poll_rx()
+            if msg is None:
+                break
+            if msg.kind != "tcp_seg":  # pragma: no cover - misuse guard
+                raise ValueError(f"TCP stack got {msg.kind!r} traffic")
+            handled += 1
+            _tag, seg, total, meta, last = msg.payload
+            yield worker.cpu(p.syscall_us + p.segment_us
+                             + seg * p.copy_per_byte_us)
+            stream = self.streams.get(msg.src)
+            if stream is None:
+                stream = TcpStream(msg.src, self.sim.now)
+                self.streams[msg.src] = stream
+                self.stats.inc("accepts")
+            if total is not None:       # first segment of a message
+                stream.rx_expected = total
+                stream.rx_have = 0
+                stream.rx_meta = meta
+            stream.rx_have += seg
+            self.stats.inc("segments_recv")
+            if last:
+                stream.rx_msgs += 1
+                self.stats.inc("msgs_recv")
+                self.stats.add("bytes_recv", stream.rx_expected)
+                self._ready.append((msg.src, stream.rx_meta))
+                stream.rx_meta = None
+        while self._ready:
+            out.append(self._ready.popleft())
+        return out
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def ready_count(self) -> int:
+        return len(self._ready)

@@ -1,0 +1,30 @@
+"""Calibration anchors: the paper-shape constants still hold.
+
+These are the self-checks DESIGN.md §4 tells maintainers to run after
+touching any cost constant.  A small fast subset runs here; the full set
+runs via ``python -c "from repro.bench import check_calibration, ..."``.
+"""
+
+import pytest
+
+from repro.bench import check_calibration, format_calibration
+
+
+@pytest.fixture(scope="module")
+def fast_results():
+    return check_calibration(["lci_peak_8b", "pin_over_mt_ratio",
+                              "small_latency_band",
+                              "mpi_i_small_latency_close"])
+
+
+def test_fast_anchors_hold(fast_results):
+    report = format_calibration(fast_results)
+    print("\n" + report)
+    failures = [n for n, (ok, _, _) in fast_results.items() if not ok]
+    assert not failures, report
+
+
+def test_format_mentions_bands(fast_results):
+    text = format_calibration(fast_results)
+    assert "band" in text
+    assert "PASS" in text or "FAIL" in text

@@ -1,0 +1,148 @@
+"""Tests for collectives and the profiling breakdown."""
+
+import pytest
+
+from repro import LAPTOP, make_runtime
+from repro.bench.profiling import (format_breakdown, lock_report,
+                                   runtime_breakdown)
+from repro.hpx_rt.collectives import Collectives, REDUCTIONS
+
+
+def run_collective(fn_builder, n_loc=3, config="lci_psr_cq_pin_i"):
+    """Boot a runtime, run ``fn_builder(coll, results)`` on every locality."""
+    rt = make_runtime(config, platform=LAPTOP, n_localities=n_loc)
+    coll = Collectives(rt)
+    done = rt.new_latch(n_loc)
+    results = {}
+
+    def make_task(lid):
+        def task(worker):
+            yield from fn_builder(coll, results, worker, lid)
+            done.count_down()
+        return task
+
+    rt.boot()
+    for lid in range(n_loc):
+        rt.locality(lid).spawn(make_task(lid))
+    rt.run_until(done, max_events=3_000_000)
+    return rt, results
+
+
+def test_barrier_synchronizes_all():
+    arrive_t = {}
+    leave_t = {}
+
+    def body(coll, results, worker, lid):
+        # stagger arrivals
+        yield worker.cpu(float(lid) * 10.0)
+        arrive_t[lid] = worker.sim.now
+        yield from coll.barrier(worker, "b1")
+        leave_t[lid] = worker.sim.now
+
+    rt, _ = run_collective(body)
+    assert max(arrive_t.values()) > min(arrive_t.values())
+    # nobody leaves before the last arrival
+    assert min(leave_t.values()) >= max(arrive_t.values())
+
+
+def test_broadcast_delivers_root_value():
+    def body(coll, results, worker, lid):
+        value = "payload" if lid == 0 else None
+        got = yield from coll.broadcast(worker, "bc", value, size=256)
+        results[lid] = got
+
+    rt, results = run_collective(body)
+    assert results == {0: "payload", 1: "payload", 2: "payload"}
+
+
+@pytest.mark.parametrize("op,expected", [("sum", 0 + 1 + 2),
+                                         ("min", 0), ("max", 2),
+                                         ("prod", 0)])
+def test_allreduce_ops(op, expected):
+    def body(coll, results, worker, lid):
+        got = yield from coll.allreduce(worker, f"ar_{op}", lid, op=op)
+        results[lid] = got
+
+    rt, results = run_collective(body)
+    assert all(v == expected for v in results.values())
+
+
+def test_reduce_unknown_op_rejected():
+    def body(coll, results, worker, lid):
+        with pytest.raises(KeyError):
+            yield from coll.reduce(worker, "bad", lid, op="median")
+
+    run_collective(body, n_loc=1)
+
+
+def test_collective_reuse_of_op_id():
+    """Generations allow the same op_id back to back."""
+    def body(coll, results, worker, lid):
+        a = yield from coll.allreduce(worker, "x", 1, op="sum")
+        b = yield from coll.allreduce(worker, "x", 2, op="sum")
+        results[lid] = (a, b)
+
+    rt, results = run_collective(body)
+    assert all(v == (3, 6) for v in results.values())
+
+
+def test_reductions_registry():
+    assert set(REDUCTIONS) == {"sum", "min", "max", "prod"}
+
+
+# ---------------------------------------------------------------------------
+# profiling
+# ---------------------------------------------------------------------------
+def run_traffic(config):
+    rt = make_runtime(config, platform=LAPTOP, n_localities=2)
+    done = rt.new_latch(20)
+
+    def sink(worker, i, blob):
+        done.count_down()
+        return None
+
+    rt.register_action("sink", sink)
+
+    def sender(worker):
+        for i in range(20):
+            yield from rt.locality(0).apply(worker, 1, "sink", (i, "b"),
+                                            arg_sizes=[8, 10000])
+
+    rt.boot()
+    rt.locality(0).spawn(sender)
+    rt.run_until(done, max_events=3_000_000)
+    return rt
+
+
+def test_breakdown_mpi_reports_lock_metrics():
+    rt = run_traffic("mpi_i")
+    b = runtime_breakdown(rt)
+    assert b["wire_msgs"] > 0
+    assert b["mpi_progress_calls"] > 0
+    assert b["mpi_lock_acquisitions"] > 0
+    assert b["parcels_sent"] == 20
+    assert "mpi progress-lock" in format_breakdown(b).lower()
+
+
+def test_breakdown_lci_reports_progress_metrics():
+    rt = run_traffic("lci_psr_cq_pin_i")
+    b = runtime_breakdown(rt)
+    assert b["lci_progress_calls"] > 0
+    assert b["lci_msgs_progressed"] > 0
+    assert "mpi_progress_calls" not in b
+    text = format_breakdown(b)
+    assert "LCI progress calls" in text
+
+
+def test_lock_report_renders():
+    rt = run_traffic("mpi")
+    text = lock_report(rt)
+    assert "mpi" in text and "wait/acq" in text
+
+
+def test_breakdown_time_shares_consistent():
+    rt = run_traffic("lci_psr_cq_pin_i")
+    b = runtime_breakdown(rt)
+    # no single accumulator can exceed total worker-time budget
+    n_workers = sum(len(loc.workers) for loc in rt.localities)
+    assert b["worker_cpu_us"] <= b["virtual_time_us"] * n_workers

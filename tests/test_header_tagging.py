@@ -1,0 +1,148 @@
+"""Unit tests for header planning / piggybacking and tag management."""
+
+import pytest
+
+from repro.hpx_rt import CostModel, Parcel, serialize_parcels
+from repro.parcelport import plan_header, tag_of
+from repro.parcelport.header import (HEADER_BASE_BYTES, ORIGINAL_MAX_HEADER)
+from repro.parcelport.tagging import (FIRST_DYNAMIC_TAG, TagAllocator,
+                                      TagProvider)
+from repro.sim import Simulator
+
+COST = CostModel()
+
+
+def msg_for(arg_sizes):
+    p = Parcel("act", dest=1, src=0, args=tuple("x" * len(arg_sizes)),
+               arg_sizes=tuple(arg_sizes))
+    return serialize_parcels([p], COST)
+
+
+# ---------------------------------------------------------------------------
+# header planning
+# ---------------------------------------------------------------------------
+def test_small_message_fully_piggybacked():
+    msg = msg_for([8])
+    plan = plan_header(msg, max_header=8192)
+    assert plan.piggy_non_zc
+    assert plan.followups == []
+    assert plan.header_size == HEADER_BASE_BYTES + msg.non_zc_size
+
+
+def test_zero_copy_chunk_never_piggybacked():
+    msg = msg_for([16384])
+    plan = plan_header(msg, max_header=8192)
+    assert plan.piggy_non_zc
+    assert plan.piggy_trans
+    assert plan.followups == [("zc", 16384)]
+
+
+def test_original_variant_no_trans_piggyback():
+    msg = msg_for([16384])
+    plan = plan_header(msg, max_header=ORIGINAL_MAX_HEADER,
+                       piggyback_trans=False)
+    assert plan.piggy_non_zc       # 64+40 fits in 512
+    assert not plan.piggy_trans
+    assert plan.followups == [("trans", msg.trans_size), ("zc", 16384)]
+
+
+def test_oversized_non_zc_gets_own_message():
+    # 200 aggregated parcels -> non-zc chunk larger than the header cap
+    parcels = [Parcel("act", dest=1, src=0, args=("x",), arg_sizes=(50,))
+               for _ in range(200)]
+    msg = serialize_parcels(parcels, COST)
+    assert msg.non_zc_size > 8192
+    plan = plan_header(msg, max_header=8192)
+    assert not plan.piggy_non_zc
+    assert plan.followups == [("non_zc", msg.non_zc_size)]
+    assert plan.header_size == HEADER_BASE_BYTES
+
+
+def test_header_budget_boundary():
+    # payload sized exactly to the cap piggybacks; one byte more does not
+    cap = 1000
+    fit = cap - HEADER_BASE_BYTES - 64  # metadata + arg
+    msg = msg_for([fit])
+    assert plan_header(msg, cap).piggy_non_zc
+    msg2 = msg_for([fit + 1])
+    assert not plan_header(msg2, cap).piggy_non_zc
+
+
+def test_max_header_below_metadata_rejected():
+    msg = msg_for([8])
+    with pytest.raises(ValueError):
+        plan_header(msg, max_header=HEADER_BASE_BYTES - 1)
+
+
+def test_piggybacked_bytes_accounting():
+    msg = msg_for([100])
+    plan = plan_header(msg, 8192)
+    assert plan.piggybacked_bytes == msg.non_zc_size
+    assert plan.n_followups == 0
+
+
+# ---------------------------------------------------------------------------
+# tagging
+# ---------------------------------------------------------------------------
+def test_tag_of_never_returns_reserved_tags():
+    for raw in range(0, 200000, 777):
+        t = tag_of(raw, 0, max_tag=32767)
+        assert FIRST_DYNAMIC_TAG <= t <= 32767
+
+
+def test_tag_of_wraps_around():
+    span = 32767 - FIRST_DYNAMIC_TAG + 1
+    assert tag_of(0, 0, 32767) == tag_of(span, 0, 32767)
+    assert tag_of(0, 5, 32767) == tag_of(5, 0, 32767)
+
+
+class FakeWorker:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def cpu(self, us):
+        return self.sim.timeout(us)
+
+    def lock(self, lk):
+        yield lk.acquire()
+
+
+def test_tag_allocator_draws_disjoint_blocks():
+    sim = Simulator()
+    alloc = TagAllocator(sim, max_tag=32767)
+    w = FakeWorker(sim)
+    out = []
+
+    def drawer():
+        r1 = yield from alloc.draw(w, 3)
+        r2 = yield from alloc.draw(w, 2)
+        out.extend([r1, r2])
+
+    sim.process(drawer())
+    sim.run()
+    r1, r2 = out
+    assert r2 == r1 + 3
+    tags1 = {alloc.tag(r1, i) for i in range(3)}
+    tags2 = {alloc.tag(r2, i) for i in range(2)}
+    assert not tags1 & tags2
+
+
+def test_tag_provider_reuses_released_tags():
+    sim = Simulator()
+    prov = TagProvider(sim, max_tag=32767)
+    w = FakeWorker(sim)
+    out = []
+
+    def run():
+        t1 = yield from prov.draw(w)
+        t2 = yield from prov.draw(w)
+        yield from prov.release(w, t1)
+        t3 = yield from prov.draw(w)
+        out.extend([t1, t2, t3])
+
+    sim.process(run())
+    sim.run()
+    t1, t2, t3 = out
+    assert t3 == t1          # released tag comes back first
+    assert t2 != t1
+    assert prov.free_count == 0

@@ -1,0 +1,297 @@
+"""Unit tests for the simulated LCI library."""
+
+import pytest
+
+from repro.lci_sim import (CompletionQueue, DEFAULT_LCI_PARAMS,
+                           HandlerCompletion, LciDevice, LciParams,
+                           PacketPool, Synchronizer)
+from repro.netsim import Fabric, TESTNET
+from repro.sim import Simulator
+
+
+class FakeWorker:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def cpu(self, us):
+        return self.sim.timeout(us)
+
+    def lock(self, lk):
+        yield lk.acquire()
+
+
+def make_pair(params=DEFAULT_LCI_PARAMS):
+    sim = Simulator()
+    fabric = Fabric(sim, TESTNET)
+    a = LciDevice(sim, fabric.add_node(0), rank=0, params=params)
+    b = LciDevice(sim, fabric.add_node(1), rank=1, params=params)
+    for d in (a, b):
+        d.put_target_cq = CompletionQueue(sim, params)
+    return sim, FakeWorker(sim), a, b
+
+
+def progress_until(sim, w, device, pred, max_iters=1000):
+    def loop():
+        for _ in range(max_iters):
+            if pred():
+                return
+            yield from device.progress(w, caller="test")
+            yield sim.timeout(0.5)
+    return sim.process(loop())
+
+
+# ---------------------------------------------------------------------------
+# completion objects
+# ---------------------------------------------------------------------------
+def test_completion_queue_fifo_and_costs():
+    sim = Simulator()
+    cq = CompletionQueue(sim, DEFAULT_LCI_PARAMS)
+    cq.signal("a")
+    cq.signal("b")
+    assert len(cq) == 2
+    v1, c1 = cq.pop()
+    v2, c2 = cq.pop()
+    v3, c3 = cq.pop()
+    assert (v1, v2, v3) == ("a", "b", None)
+    assert c1 == DEFAULT_LCI_PARAMS.cq_pop_us
+    assert c3 < c1  # empty pop cheaper
+    assert cq.max_depth == 2
+
+
+def test_synchronizer_single_shot():
+    s = Synchronizer()
+    assert not s.test()
+    s.signal(("recv", None, "v"))
+    assert s.test()
+    assert s.value == ("recv", None, "v")
+
+
+def test_handler_completion_invokes_function():
+    hits = []
+    h = HandlerCompletion(hits.append)
+    h.signal("x")
+    assert hits == ["x"]
+
+
+# ---------------------------------------------------------------------------
+# packet pool
+# ---------------------------------------------------------------------------
+def test_packet_pool_exhaustion_and_release():
+    sim = Simulator()
+    pool = PacketPool(sim, DEFAULT_LCI_PARAMS.with_(packet_count=2))
+    assert pool.try_acquire()
+    assert pool.try_acquire()
+    assert not pool.try_acquire()  # non-blocking failure, LCI style
+    assert pool.in_use == 2
+    pool.release()
+    assert pool.try_acquire()
+    assert pool.stats.counters["exhaustions"] == 1
+
+
+def test_packet_pool_release_at_delay():
+    sim = Simulator()
+    pool = PacketPool(sim, DEFAULT_LCI_PARAMS.with_(packet_count=1))
+    assert pool.try_acquire()
+    pool.release_at(5.0)
+    assert pool.free == 0
+    sim.run()
+    assert pool.free == 1
+
+
+def test_packet_pool_double_release_raises():
+    sim = Simulator()
+    pool = PacketPool(sim, DEFAULT_LCI_PARAMS.with_(packet_count=1))
+    with pytest.raises(RuntimeError):
+        pool.release()
+
+
+# ---------------------------------------------------------------------------
+# two-sided medium path
+# ---------------------------------------------------------------------------
+def test_sendm_recvm_posted_first():
+    sim, w, a, b = make_pair()
+    comp = Synchronizer()
+
+    def receiver():
+        yield from b.recvm(w, tag=7, size=64, comp=comp, ctx="rx")
+
+    def sender():
+        yield sim.timeout(1.0)
+        ok = yield from a.sendm(w, 1, 64, tag=7, comp=None, payload="data")
+        assert ok
+
+    sim.process(receiver())
+    sim.process(sender())
+    progress_until(sim, w, b, comp.test)
+    sim.run(max_events=50000)
+    assert comp.test()
+    kind, ctx, payload = comp.value
+    assert (kind, ctx, payload) == ("recv", "rx", "data")
+
+
+def test_sendm_unexpected_then_recvm():
+    sim, w, a, b = make_pair()
+    comp = Synchronizer()
+
+    def sender():
+        yield from a.sendm(w, 1, 64, tag=7, comp=None, payload="data")
+
+    def receiver():
+        yield sim.timeout(10.0)
+        yield from b.progress(w, caller="rx")   # stash as unexpected
+        assert b.unexpected_count == 1
+        yield from b.recvm(w, tag=7, size=64, comp=comp, ctx="rx")
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run(max_events=50000)
+    assert comp.test()
+    assert comp.value[2] == "data"
+    assert b.unexpected_count == 0
+
+
+def test_sendm_local_completion_at_injection():
+    sim, w, a, b = make_pair()
+    comp = Synchronizer()
+
+    def sender():
+        ok = yield from a.sendm(w, 1, 64, tag=1, comp=comp, payload=None)
+        assert ok
+        assert comp.test()   # medium sends complete locally
+
+    sim.process(sender())
+    sim.run(max_events=10000)
+
+
+def test_sendm_pool_exhaustion_returns_false():
+    params = DEFAULT_LCI_PARAMS.with_(packet_count=0)
+    sim, w, a, b = make_pair(params)
+
+    def sender():
+        ok = yield from a.sendm(w, 1, 64, tag=1, comp=None, payload=None)
+        assert ok is False
+
+    sim.process(sender())
+    sim.run(max_events=10000)
+
+
+# ---------------------------------------------------------------------------
+# one-sided dynamic put
+# ---------------------------------------------------------------------------
+def test_putva_lands_in_remote_cq():
+    sim, w, a, b = make_pair()
+
+    def sender():
+        ok = yield from a.putva(w, 1, 256, ctx="hdr", payload="header",
+                                assembled_in_place=True)
+        assert ok
+
+    sim.process(sender())
+    progress_until(sim, w, b, lambda: len(b.put_target_cq) > 0)
+    sim.run(max_events=50000)
+    entry, _cost = b.put_target_cq.pop()
+    kind, ctx, payload, size = entry
+    assert kind == "put"
+    assert payload == "header"
+    assert size == 256
+
+
+def test_putva_requires_configured_cq():
+    sim, w, a, b = make_pair()
+    b.put_target_cq = None
+
+    def sender():
+        yield from a.putva(w, 1, 64, payload="x")
+
+    sim.process(sender())
+
+    def poller():
+        yield sim.timeout(10.0)
+        yield from b.progress(w, caller="rx")
+
+    sim.process(poller())
+    with pytest.raises(RuntimeError, match="no\\s+pre-configured"):
+        sim.run(max_events=50000)
+
+
+# ---------------------------------------------------------------------------
+# long (rendezvous) path
+# ---------------------------------------------------------------------------
+def test_sendl_recvl_roundtrip_both_orders():
+    for recv_first in (True, False):
+        sim, w, a, b = make_pair()
+        scomp, rcomp = Synchronizer(), Synchronizer()
+
+        def receiver():
+            if not recv_first:
+                yield sim.timeout(20.0)
+            yield from b.recvl(w, tag=4, size=65536, comp=rcomp, ctx="rx")
+
+        def sender():
+            if recv_first:
+                yield sim.timeout(20.0)
+            yield from a.sendl(w, 1, 65536, tag=4, comp=scomp, ctx="tx",
+                               payload="bulk")
+
+        sim.process(receiver())
+        sim.process(sender())
+        progress_until(sim, w, a, scomp.test)
+        progress_until(sim, w, b, rcomp.test)
+        sim.run(max_events=200000)
+        assert rcomp.test(), f"recv_first={recv_first}"
+        assert rcomp.value[2] == "bulk"
+        assert scomp.test(), f"recv_first={recv_first}"
+
+
+def test_progress_trylock_contention_fails_fast():
+    sim, w, a, b = make_pair()
+    results = []
+
+    def caller(tag):
+        n = yield from b.progress(FakeWorker(sim), caller=tag)
+        results.append(n)
+
+    # Hold the try-lock, then call progress: it must return -1 immediately.
+    assert b.progress_lock.try_acquire()
+    sim.process(caller("w1"))
+    sim.run(max_events=1000)
+    assert results == [-1]
+    b.progress_lock.release()
+
+
+def test_distinct_tags_no_matching_collision():
+    """LCI has no in-order guarantee, so the parcelport uses one tag per
+    message; the matching table must keep concurrent tags separate."""
+    sim, w, a, b = make_pair()
+    comps = {t: Synchronizer() for t in (11, 12, 13)}
+
+    def receiver():
+        # post receives in reverse tag order
+        for t in (13, 12, 11):
+            yield from b.recvm(w, tag=t, size=32, comp=comps[t], ctx=t)
+
+    def sender():
+        yield sim.timeout(1.0)
+        for t in (11, 12, 13):
+            yield from a.sendm(w, 1, 32, tag=t, comp=None, payload=f"p{t}")
+
+    sim.process(receiver())
+    sim.process(sender())
+    progress_until(sim, w, b, lambda: all(c.test() for c in comps.values()))
+    sim.run(max_events=100000)
+    for t, c in comps.items():
+        assert c.value[1] == t
+        assert c.value[2] == f"p{t}"
+
+
+def test_caller_switch_penalty_tracked():
+    sim, w, a, b = make_pair()
+
+    def calls():
+        yield from b.progress(w, caller="x")
+        yield from b.progress(w, caller="x")
+        yield from b.progress(w, caller="y")
+
+    sim.process(calls())
+    sim.run(max_events=10000)
+    assert b.stats.counters["progress_calls"] == 3

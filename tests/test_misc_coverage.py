@@ -1,0 +1,186 @@
+"""Additional coverage: kernel edge cases, library corners, integrations."""
+
+import pytest
+
+from repro import LAPTOP, make_runtime
+from repro.apps.octotiger import OctoTigerConfig, OctoTigerDriver
+from repro.parcelport.base import Connection, DetachedWorker
+from repro.sim import (AllOf, AnyOf, Event, Interrupt, Simulator)
+
+
+# ---------------------------------------------------------------------------
+# kernel edge cases
+# ---------------------------------------------------------------------------
+def test_allof_fails_fast_on_child_failure():
+    sim = Simulator(strict=False)
+    bad = Event(sim)
+    caught = []
+
+    def proc(sim):
+        try:
+            yield AllOf(sim, [sim.timeout(10.0), bad])
+        except RuntimeError as e:
+            caught.append((str(e), sim.now))
+
+    sim.process(proc(sim))
+    sim.schedule_call(1.0, lambda: bad.fail(RuntimeError("child")))
+    sim.run()
+    assert caught == [("child", 1.0)]  # did not wait for the timeout
+
+
+def test_anyof_value_identifies_winner():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        fast = sim.timeout(1.0, value="fast")
+        slow = sim.timeout(9.0, value="slow")
+        ev, value = yield AnyOf(sim, [slow, fast])
+        got.append(value)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert got == ["fast"]
+
+
+def test_interrupt_after_completion_is_noop():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick(sim))
+    sim.run()
+    p.interrupt("late")      # must not raise
+    sim.run()
+
+
+def test_nonstrict_process_failure_recorded_on_event():
+    sim = Simulator(strict=False)
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("inside")
+
+    p = sim.process(bad(sim))
+    sim.run()
+    assert p.triggered and not p.ok
+    assert isinstance(p.value, ValueError)
+
+
+def test_interrupt_cancels_pending_wait():
+    sim = Simulator()
+    state = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            state.append(sim.now)
+            yield sim.timeout(1.0)   # can keep running after interrupt
+            state.append(sim.now)
+
+    p = sim.process(sleeper(sim))
+    sim.schedule_call(5.0, lambda: p.interrupt())
+    sim.run()
+    assert state == [5.0, 6.0]
+
+
+# ---------------------------------------------------------------------------
+# parcelport plumbing corners
+# ---------------------------------------------------------------------------
+def test_connection_reset_clears_state():
+    c = Connection(dest=3)
+    c.plan = [("zc", 100)]
+    c.stage = 1
+    c.tag = 7
+    c.piggy_bytes = 40
+    c.reset()
+    assert c.plan == [] and c.stage == 0 and c.tag == 0
+    assert c.finished_chunks  # empty plan counts as finished
+    assert c.dest == 3        # identity survives reset
+
+
+def test_detached_worker_cannot_be_scheduled():
+    rt = make_runtime("lci", platform=LAPTOP)
+    rt.boot()
+    dw = DetachedWorker(rt.localities[0], name="probe")
+    with pytest.raises(RuntimeError):
+        dw.start()
+
+
+def test_worker_lock_records_wait_time():
+    rt = make_runtime("lci", platform=LAPTOP)
+    rt.boot()
+    loc = rt.localities[0]
+    done = rt.new_latch(2)
+    from repro.sim import SpinLock
+    lk = SpinLock(rt.sim, acquire_cost=0.0)
+
+    def holder(worker):
+        yield from worker.lock(lk)
+        yield worker.cpu(25.0)
+        lk.release()
+        done.count_down()
+
+    loc.spawn(holder)
+    loc.spawn(holder)
+    rt.run_until(done)
+    waits = [w.stats.accum.get("lock_wait_us", 0.0) for w in loc.workers]
+    assert max(waits) >= 25.0
+
+
+# ---------------------------------------------------------------------------
+# MPI library corners
+# ---------------------------------------------------------------------------
+def test_mpi_pending_rts_accounting():
+    from repro.mpi_sim import DEFAULT_MPI_PARAMS, MpiComm
+    from repro.netsim import Fabric, TESTNET
+
+    sim = Simulator()
+    fabric = Fabric(sim, TESTNET)
+    a = MpiComm(sim, fabric.add_node(0), 0,
+                DEFAULT_MPI_PARAMS.with_(eager_threshold=10))
+    b = MpiComm(sim, fabric.add_node(1), 1,
+                DEFAULT_MPI_PARAMS.with_(eager_threshold=10))
+
+    class W:
+        def __init__(self):
+            self.sim = sim
+
+        def cpu(self, us):
+            return sim.timeout(us)
+
+        def lock(self, lk):
+            yield lk.acquire()
+
+    w = W()
+
+    def run():
+        yield from a.isend(w, 1, 5000, tag=9, payload="x")
+        yield sim.timeout(20.0)
+        yield from b.progress_only(w)          # stash the RTS
+        assert b.pending_rts == 1
+        req = yield from b.irecv(w, 0, 5000, tag=9)   # matches buffered RTS
+        assert b.pending_rts == 0
+        while not req.done:
+            yield sim.timeout(1.0)
+            yield from b.test(w, req)
+            yield from a.progress_only(w)
+
+    sim.process(run())
+    sim.run(max_events=100000)
+
+
+# ---------------------------------------------------------------------------
+# cross-backend Octo-Tiger integration
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("config", ["tcp", "mpi_orig", "lci_sr_sy_mt_i"])
+def test_octotiger_runs_on_every_backend(config):
+    rt = make_runtime(config, platform=LAPTOP, n_localities=2)
+    cfg = OctoTigerConfig(max_level=2, base_level=2, n_steps=1,
+                          substeps=1, boundary_fields=1,
+                          leaf_compute_us=150.0, update_compute_us=80.0,
+                          interior_compute_us=40.0, l2l_compute_us=20.0)
+    res = OctoTigerDriver(rt, cfg).run(max_events=5_000_000)
+    assert res.steps_per_second > 0

@@ -1,0 +1,222 @@
+"""Unit tests for the simulated MPI library."""
+
+import pytest
+
+from repro.mpi_sim import (ANY_SOURCE, ANY_TAG, DEFAULT_MPI_PARAMS, MAX_TAG,
+                           MpiComm, MpiParams, Request)
+from repro.netsim import Fabric, NetMsg, TESTNET
+from repro.sim import Simulator
+
+
+class FakeWorker:
+    """Minimal worker context for driving library generators in tests."""
+
+    def __init__(self, sim):
+        self.sim = sim
+
+    def cpu(self, us):
+        return self.sim.timeout(us)
+
+    def lock(self, lk):
+        yield lk.acquire()
+
+
+def make_pair(params=DEFAULT_MPI_PARAMS):
+    sim = Simulator()
+    fabric = Fabric(sim, TESTNET)
+    a = MpiComm(sim, fabric.add_node(0), rank=0, params=params)
+    b = MpiComm(sim, fabric.add_node(1), rank=1, params=params)
+    return sim, FakeWorker(sim), a, b
+
+
+def drive(sim, gen, name=""):
+    return sim.process(gen, name)
+
+
+def test_eager_send_completes_locally():
+    sim, w, a, b = make_pair()
+
+    def sender():
+        req = yield from a.isend(w, 1, 64, tag=5, payload="hi")
+        assert req.done  # eager: buffered at post time
+        return req
+
+    p = drive(sim, sender())
+    sim.run()
+    assert p.value.done
+
+
+def test_eager_message_matches_posted_recv():
+    sim, w, a, b = make_pair()
+    out = {}
+
+    def receiver():
+        req = yield from b.irecv(w, 0, 64, tag=5)
+        out["req"] = req
+
+    def sender():
+        yield sim.timeout(1.0)
+        yield from a.isend(w, 1, 64, tag=5, payload="hello")
+
+    def poller():
+        yield sim.timeout(10.0)
+        done = yield from b.test(w, out["req"])
+        out["done"] = done
+
+    drive(sim, receiver())
+    drive(sim, sender())
+    drive(sim, poller())
+    sim.run()
+    assert out["done"]
+    assert out["req"].value == "hello"
+
+
+def test_unexpected_message_matched_by_later_irecv():
+    sim, w, a, b = make_pair()
+    out = {}
+
+    def sender():
+        yield from a.isend(w, 1, 64, tag=9, payload="early")
+
+    def receiver():
+        yield sim.timeout(20.0)
+        # Drain the RX ring into the unexpected queue first.
+        dummy = Request("recv", 0, 1, tag=12345)
+        b.posted.append(dummy)
+        yield from b.test(w, dummy)
+        assert b.unexpected_count == 1
+        req = yield from b.irecv(w, 0, 64, tag=9)
+        out["req"] = req
+
+    drive(sim, sender())
+    drive(sim, receiver())
+    sim.run()
+    assert out["req"].done
+    assert out["req"].value == "early"
+    assert b.unexpected_count == 0
+
+
+def test_wildcard_source_and_tag_matching():
+    req = Request("recv", ANY_SOURCE, 10, ANY_TAG)
+    assert req.matches(3, 7)
+    req2 = Request("recv", 2, 10, 7)
+    assert req2.matches(2, 7)
+    assert not req2.matches(3, 7)
+    assert not req2.matches(2, 8)
+    send = Request("send", 2, 10, 7)
+    assert not send.matches(2, 7)
+
+
+def test_rendezvous_roundtrip():
+    params = DEFAULT_MPI_PARAMS.with_(eager_threshold=100)
+    sim, w, a, b = make_pair(params)
+    out = {}
+
+    def receiver():
+        req = yield from b.irecv(w, 0, 5000, tag=3)
+        out["rreq"] = req
+        while not req.done:
+            yield sim.timeout(1.0)
+            yield from b.test(w, req)
+
+    def sender():
+        req = yield from a.isend(w, 1, 5000, tag=3, payload="big")
+        assert not req.done  # rendezvous: not complete at post
+        out["sreq"] = req
+        while not req.done:
+            yield sim.timeout(1.0)
+            yield from a.test(w, req)
+
+    drive(sim, receiver())
+    drive(sim, sender())
+    sim.run(max_events=100000)
+    assert out["rreq"].done
+    assert out["rreq"].value == "big"
+    assert out["sreq"].done
+
+
+def test_rendezvous_data_is_fragmented():
+    params = DEFAULT_MPI_PARAMS.with_(eager_threshold=100,
+                                      rndv_frag_bytes=1024)
+    sim, w, a, b = make_pair(params)
+
+    def receiver():
+        req = yield from b.irecv(w, 0, 4096, tag=3)
+        while not req.done:
+            yield sim.timeout(1.0)
+            yield from b.test(w, req)
+
+    def sender():
+        req = yield from a.isend(w, 1, 4096, tag=3, payload="x")
+        while not req.done:
+            yield sim.timeout(1.0)
+            yield from a.test(w, req)
+
+    drive(sim, receiver())
+    drive(sim, sender())
+    sim.run(max_events=100000)
+    assert b.stats.counters["rndv_frags"] == 4
+    assert b.stats.counters["rndv_recvs"] == 1
+
+
+def test_posted_list_scan_costs_grow_with_length():
+    """Matching is a linear scan — the paper's MPI meltdown mechanism."""
+    sim, w, a, b = make_pair()
+    # Post 50 receives with distinct tags, then match the last one.
+    def receiver():
+        for tag in range(2, 52):
+            yield from b.irecv(w, 0, 8, tag=tag)
+
+    drive(sim, receiver())
+    sim.run()
+    req, scanned = b._match_posted(0, 51)
+    assert req is not None
+    assert scanned == 50  # had to walk the whole list
+
+
+def test_progress_idle_fast_path():
+    sim, w, a, b = make_pair()
+
+    def poller():
+        dummy = Request("recv", 0, 1, tag=1)
+        b.posted.append(dummy)
+        yield from b.test(w, dummy)
+
+    drive(sim, poller())
+    sim.run()
+    # idle progress charges a fraction of base cost; just verify it ran
+    assert b.stats.counters["progress_calls"] == 1
+
+
+def test_progress_lock_serializes_concurrent_tests():
+    sim, w, a, b = make_pair()
+    order = []
+
+    def poller(tag):
+        dummy = Request("recv", 0, 1, tag=tag)
+        b.posted.append(dummy)
+        yield from b.test(FakeWorker(sim), dummy)
+        order.append((tag, sim.now))
+
+    drive(sim, poller(100))
+    drive(sim, poller(101))
+    sim.run()
+    # second test must finish strictly after the first released the lock
+    assert order[0][1] < order[1][1]
+
+
+def test_notify_hook_called_on_completion():
+    sim, w, a, b = make_pair()
+    hits = []
+    a.notify = lambda: hits.append(sim.now)
+
+    def sender():
+        yield from a.isend(w, 1, 8, tag=2, payload=None)
+
+    drive(sim, sender())
+    sim.run()
+    assert len(hits) == 1  # eager send completion fires notify
+
+
+def test_max_tag_bound():
+    assert MAX_TAG == 32767

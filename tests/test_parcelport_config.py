@@ -1,0 +1,106 @@
+"""Unit tests for Table-1 configuration parsing and labels."""
+
+import pytest
+
+from repro.parcelport import ALL_LCI_VARIANTS, PPConfig, TABLE1
+
+
+def test_parse_baseline_lci():
+    c = PPConfig.parse("lci")
+    assert c.backend == "lci"
+    assert c.protocol == "psr"
+    assert c.completion == "cq"
+    assert c.progress == "pin"
+    assert not c.immediate
+    assert c.label == "lci_psr_cq_pin"
+
+
+def test_parse_full_variant():
+    c = PPConfig.parse("lci_sr_sy_mt_i")
+    assert (c.protocol, c.completion, c.progress, c.immediate) == \
+        ("sr", "sy", "worker", True)
+    assert c.label == "lci_sr_sy_mt_i"
+
+
+def test_parse_rp_alias_for_pin():
+    assert PPConfig.parse("lci_psr_cq_rp_i") == PPConfig.parse(
+        "lci_psr_cq_pin_i")
+
+
+def test_parse_worker_alias_for_mt():
+    assert PPConfig.parse("lci_psr_cq_worker") == PPConfig.parse(
+        "lci_psr_cq_mt")
+
+
+def test_parse_mpi_variants():
+    assert PPConfig.parse("mpi").label == "mpi"
+    assert PPConfig.parse("mpi_i").immediate
+    orig = PPConfig.parse("mpi_orig")
+    assert orig.mpi_variant == "original"
+    assert orig.label == "mpi_orig"
+
+
+def test_label_roundtrip_for_all_variants():
+    for spec in ALL_LCI_VARIANTS + ["mpi", "mpi_i", "mpi_orig",
+                                    "lci_psr_cq_pin"]:
+        assert PPConfig.parse(spec).label == spec
+
+
+def test_parse_rejects_unknown_tokens():
+    with pytest.raises(ValueError):
+        PPConfig.parse("lci_bogus")
+    with pytest.raises(ValueError):
+        PPConfig.parse("ucx")
+    with pytest.raises(ValueError):
+        PPConfig.parse("")
+
+
+def test_parse_tcp_backend():
+    assert PPConfig.parse("tcp").label == "tcp"
+    assert PPConfig.parse("tcp_i").immediate
+    with pytest.raises(ValueError):
+        PPConfig.parse("tcp_psr")
+    with pytest.raises(ValueError):
+        PPConfig.parse("tcp_orig")
+
+
+def test_parse_rejects_lci_tokens_on_mpi():
+    with pytest.raises(ValueError):
+        PPConfig.parse("mpi_psr")
+    with pytest.raises(ValueError):
+        PPConfig.parse("mpi_cq_i")
+
+
+def test_invalid_field_values_rejected():
+    with pytest.raises(ValueError):
+        PPConfig(backend="ucx")
+    with pytest.raises(ValueError):
+        PPConfig(protocol="put")
+    with pytest.raises(ValueError):
+        PPConfig(completion="handler")
+    with pytest.raises(ValueError):
+        PPConfig(progress="both")
+
+
+def test_all_lci_variants_enumeration():
+    assert len(ALL_LCI_VARIANTS) == 8
+    assert len(set(ALL_LCI_VARIANTS)) == 8
+    for v in ALL_LCI_VARIANTS:
+        assert v.endswith("_i")
+
+
+def test_table1_contents_match_paper():
+    assert TABLE1["psr"] == "Use the putsendrecv protocol"
+    assert TABLE1["cq"] == "Use completion queue as the completion type"
+    assert TABLE1["pin"] == "Use a pinned dedicated progress thread"
+    assert TABLE1["mt"] == "Use all worker threads to make progress"
+    assert TABLE1["i"] == "Enable the send immediate optimization"
+    assert set(TABLE1) == {"tcp", "mpi", "lci", "sr", "psr", "sy", "cq",
+                           "pin", "mt", "i"}
+
+
+def test_with_override():
+    c = PPConfig.parse("lci_psr_cq_pin")
+    c2 = c.with_(immediate=True)
+    assert c2.label == "lci_psr_cq_pin_i"
+    assert not c.immediate

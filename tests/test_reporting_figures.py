@@ -1,0 +1,55 @@
+"""Tests for FigureResult plumbing and figure metadata (no slow sweeps)."""
+
+import pytest
+
+from repro.bench import FigureResult, Series
+from repro.bench.figures import ALL_CONFIGS, MPI_VS_LCI
+
+
+def make_result():
+    s1 = Series("a")
+    s1.add(1, 10)
+    s1.add(10, 100)
+    s2 = Series("b")
+    s2.add(1, 20)
+    return FigureResult("figX", "title", [s1, s2], x_name="x", y_name="y")
+
+
+def test_by_label_lookup():
+    r = make_result()
+    assert r.by_label("a").peak == 100
+    with pytest.raises(KeyError, match="figX"):
+        r.by_label("missing")
+
+
+def test_render_contains_table_and_plot():
+    r = make_result()
+    text = r.render()
+    assert "figX" in text
+    assert "title" in text
+    assert "a" in text and "b" in text
+    # multiple x values -> an ascii plot is included
+    assert "log" in text
+
+
+def test_render_skips_plot_for_single_x():
+    s = Series("only")
+    s.add(1, 5)
+    r = FigureResult("f", "t", [s])
+    assert "log" not in r.render()
+
+
+def test_render_plot_suppressible():
+    r = make_result()
+    assert "log" not in r.render(plot=False)
+
+
+def test_config_sets_match_paper():
+    # Figs 1/4 compare MPI with/without immediate against LCI baseline
+    assert MPI_VS_LCI == ["mpi", "mpi_i", "lci_psr_cq_pin",
+                          "lci_psr_cq_pin_i"]
+    # Figs 3/6/7/8/9 use the 11 configurations of the paper
+    assert len(ALL_CONFIGS) == 11
+    assert "lci_psr_cq_pin" in ALL_CONFIGS     # the no-immediate baseline
+    assert "mpi" in ALL_CONFIGS and "mpi_i" in ALL_CONFIGS
+    assert sum(1 for c in ALL_CONFIGS if c.startswith("lci")) == 9

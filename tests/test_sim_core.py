@@ -1,0 +1,269 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (AllOf, AnyOf, Event, Interrupt, SimulationError,
+                       Simulator, Timeout)
+
+
+def test_timeout_fires_at_delay():
+    sim = Simulator()
+    log = []
+
+    def proc(sim):
+        yield sim.timeout(3.5)
+        log.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert log == [3.5]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_event_value_passed_to_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter(sim):
+        v = yield ev
+        got.append(v)
+
+    sim.process(waiter(sim))
+    sim.schedule_call(2.0, lambda: ev.succeed("payload"))
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_event_fail_raises_in_process():
+    sim = Simulator(strict=False)
+    ev = sim.event()
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield ev
+        except RuntimeError as e:
+            caught.append(str(e))
+
+    sim.process(waiter(sim))
+    sim.schedule_call(1.0, lambda: ev.fail(RuntimeError("boom")))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_process_exception_propagates_in_strict_mode():
+    sim = Simulator(strict=True)
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("kaput")
+
+    sim.process(bad(sim))
+    with pytest.raises(ValueError, match="kaput"):
+        sim.run()
+
+
+def test_process_return_value_is_event_value():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(2.0)
+        return 42
+
+    def parent(sim, out):
+        v = yield sim.process(child(sim))
+        out.append(v)
+
+    out = []
+    sim.process(parent(sim, out))
+    sim.run()
+    assert out == [42]
+
+
+def test_deterministic_fifo_order_for_simultaneous_events():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_float_deadline():
+    sim = Simulator()
+    hits = []
+
+    def ticker(sim):
+        while True:
+            yield sim.timeout(1.0)
+            hits.append(sim.now)
+
+    sim.process(ticker(sim))
+    sim.run(until=5.5)
+    assert sim.now == 5.5
+    assert hits == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        return "done"
+
+    p = sim.process(proc(sim))
+    assert sim.run(until=p) == "done"
+
+
+def test_run_until_untriggered_event_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        sim.run(until=ev)
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def spin(sim):
+        while True:
+            yield sim.timeout(0.1)
+
+    sim.process(spin(sim))
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=50)
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    done_at = []
+
+    def proc(sim):
+        yield AllOf(sim, [sim.timeout(1.0), sim.timeout(5.0),
+                          sim.timeout(3.0)])
+        done_at.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert done_at == [5.0]
+
+
+def test_all_of_empty_triggers_immediately():
+    sim = Simulator()
+    cond = AllOf(sim, [])
+    assert cond.triggered
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    done_at = []
+
+    def proc(sim):
+        yield AnyOf(sim, [sim.timeout(4.0), sim.timeout(1.5)])
+        done_at.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert done_at == [1.5]
+
+
+def test_interrupt_injects_exception():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+            log.append("slept")
+        except Interrupt as i:
+            log.append(("interrupted", i.cause, sim.now))
+
+    p = sim.process(sleeper(sim))
+    sim.schedule_call(2.0, lambda: p.interrupt("wake"))
+    sim.run()
+    assert log == [("interrupted", "wake", 2.0)]
+
+
+def test_yield_non_event_raises():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError, match="non-event"):
+        sim.run()
+
+
+def test_waiting_on_already_processed_event_resumes():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("v")
+    got = []
+
+    def late(sim):
+        yield sim.timeout(5.0)
+        got.append((yield ev))
+
+    sim.process(late(sim))
+    sim.run()
+    assert got == ["v"]
+    assert sim.now == 5.0
+
+
+def test_clock_never_goes_backwards():
+    sim = Simulator()
+    stamps = []
+
+    def proc(sim, delays):
+        for d in delays:
+            yield sim.timeout(d)
+            stamps.append(sim.now)
+
+    sim.process(proc(sim, [3.0, 0.0, 1.0]))
+    sim.process(proc(sim, [1.0, 1.0, 1.0]))
+    sim.run()
+    assert stamps == sorted(stamps)
+
+
+def test_schedule_call_runs_function():
+    sim = Simulator()
+    out = []
+    sim.schedule_call(7.0, lambda: out.append(sim.now))
+    sim.run()
+    assert out == [7.0]
+
+
+def test_event_count_increments():
+    sim = Simulator()
+    sim.schedule_call(1.0, lambda: None)
+    sim.schedule_call(2.0, lambda: None)
+    sim.run()
+    assert sim.event_count == 2
+
+
+def test_peek_returns_next_event_time():
+    sim = Simulator()
+    sim.schedule_call(4.0, lambda: None)
+    assert sim.peek() == 4.0
+    sim.run()
+    assert sim.peek() == float("inf")

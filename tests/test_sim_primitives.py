@@ -1,0 +1,219 @@
+"""Unit tests for locks, atomics and serial resources."""
+
+import pytest
+
+from repro.sim import (AtomicCell, ContentionMeter, SerialResource, Simulator,
+                       SpinLock, TryLock)
+
+
+# ---------------------------------------------------------------------------
+# SpinLock
+# ---------------------------------------------------------------------------
+def test_spinlock_mutual_exclusion_and_fifo():
+    sim = Simulator()
+    lock = SpinLock(sim, acquire_cost=0.0)
+    order = []
+
+    def proc(sim, tag, hold):
+        yield lock.acquire()
+        order.append((tag, "in", sim.now))
+        yield sim.timeout(hold)
+        order.append((tag, "out", sim.now))
+        lock.release()
+
+    for i, hold in enumerate([3.0, 2.0, 1.0]):
+        sim.process(proc(sim, i, hold))
+    sim.run()
+    # FIFO: 0 in/out, then 1, then 2; no overlap.
+    tags = [t for t, what, _ in order]
+    assert tags == [0, 0, 1, 1, 2, 2]
+    times = [t for _, _, t in order]
+    assert times == sorted(times)
+
+
+def test_spinlock_release_unheld_raises():
+    sim = Simulator()
+    lock = SpinLock(sim)
+    with pytest.raises(RuntimeError):
+        lock.release()
+
+
+def test_spinlock_wait_statistics():
+    sim = Simulator()
+    lock = SpinLock(sim, acquire_cost=0.0)
+
+    def holder(sim):
+        yield lock.acquire()
+        yield sim.timeout(10.0)
+        lock.release()
+
+    def waiter(sim):
+        yield lock.acquire()
+        lock.release()
+
+    sim.process(holder(sim))
+    sim.process(waiter(sim))
+    sim.run()
+    assert lock.total_wait_us == pytest.approx(10.0)
+    assert lock.acquisitions == 2
+    assert lock.max_queue == 1
+
+
+def test_spinlock_acquire_cost_delays_owner():
+    sim = Simulator()
+    lock = SpinLock(sim, acquire_cost=0.5)
+    t = []
+
+    def proc(sim):
+        yield lock.acquire()
+        t.append(sim.now)
+        lock.release()
+
+    sim.process(proc(sim))
+    sim.run()
+    assert t == [0.5]
+
+
+# ---------------------------------------------------------------------------
+# TryLock
+# ---------------------------------------------------------------------------
+def test_trylock_fail_fast():
+    sim = Simulator()
+    tl = TryLock(sim)
+    assert tl.try_acquire() is True
+    assert tl.try_acquire() is False
+    tl.release()
+    assert tl.try_acquire() is True
+    assert tl.attempts == 3
+    assert tl.failures == 1
+    assert tl.failure_rate == pytest.approx(1 / 3)
+
+
+def test_trylock_release_unheld_raises():
+    sim = Simulator()
+    tl = TryLock(sim)
+    with pytest.raises(RuntimeError):
+        tl.release()
+
+
+# ---------------------------------------------------------------------------
+# SerialResource
+# ---------------------------------------------------------------------------
+def test_serial_resource_serializes_requests():
+    sim = Simulator()
+    res = SerialResource(sim)
+    done = []
+
+    def proc(sim, tag):
+        yield res.request(2.0)
+        done.append((tag, sim.now))
+
+    for tag in range(3):
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert done == [(0, 2.0), (1, 4.0), (2, 6.0)]
+    assert res.served == 3
+    assert res.total_busy_us == pytest.approx(6.0)
+
+
+def test_serial_resource_idle_gap_resets_queue():
+    sim = Simulator()
+    res = SerialResource(sim)
+    done = []
+
+    def first(sim):
+        yield res.request(1.0)
+        done.append(sim.now)
+
+    def second(sim):
+        yield sim.timeout(10.0)
+        yield res.request(1.0)
+        done.append(sim.now)
+
+    sim.process(first(sim))
+    sim.process(second(sim))
+    sim.run()
+    assert done == [1.0, 11.0]
+    assert res.total_queued_us == 0.0
+
+
+def test_serial_resource_utilization():
+    sim = Simulator()
+    res = SerialResource(sim)
+
+    def proc(sim):
+        yield res.request(4.0)
+        yield sim.timeout(4.0)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert res.utilization() == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------------------
+# AtomicCell
+# ---------------------------------------------------------------------------
+def test_atomic_fetch_add_returns_previous_and_serializes():
+    sim = Simulator()
+    cell = AtomicCell(sim, op_cost=1.0, contention_factor=0.0)
+    got = []
+
+    def proc(sim):
+        old = yield cell.fetch_add(5)
+        got.append((old, sim.now))
+
+    sim.process(proc(sim))
+    sim.process(proc(sim))
+    sim.run()
+    assert [g[0] for g in got] == [0, 5]
+    assert cell.value == 10
+    # ops serialize through the cache line: 1.0 then 2.0
+    assert [g[1] for g in got] == [1.0, 2.0]
+
+
+def test_atomic_contention_inflates_cost():
+    sim = Simulator()
+    cell = AtomicCell(sim, op_cost=1.0, contention_factor=1.0)
+    finish = []
+
+    def proc(sim):
+        yield cell.fetch_add(1)
+        finish.append(sim.now)
+
+    for _ in range(3):
+        sim.process(proc(sim))
+    sim.run()
+    # Second and third ops pay the contention surcharge.
+    assert finish[0] == pytest.approx(1.0)
+    assert finish[1] > 2.0
+    assert finish[2] > finish[1] + 1.0
+
+
+def test_atomic_relaxed_ops_are_free():
+    sim = Simulator()
+    cell = AtomicCell(sim, value=7)
+    assert cell.load() == 7
+    assert cell.add_relaxed(3) == 7
+    assert cell.value == 10
+    assert sim.now == 0.0
+
+
+# ---------------------------------------------------------------------------
+# ContentionMeter
+# ---------------------------------------------------------------------------
+def test_contention_meter_accumulates_and_decays():
+    m = ContentionMeter(tau_us=10.0)
+    assert m.touch(0.0) == 0.0
+    assert m.touch(0.0) == 1.0
+    assert m.touch(0.0) == 2.0
+    # after a full window, pressure decays to zero
+    assert m.pressure(20.0) == 0.0
+    assert m.touch(20.0) == 0.0
+
+
+def test_contention_meter_partial_decay():
+    m = ContentionMeter(tau_us=10.0)
+    m.touch(0.0)
+    m.touch(0.0)
+    # at t=5 half the window elapsed -> half pressure remains
+    assert m.pressure(5.0) == pytest.approx(1.0)

@@ -1,0 +1,118 @@
+"""Unit tests for FifoChannel and MPSCQueue."""
+
+import pytest
+
+from repro.sim import FifoChannel, MPSCQueue, Simulator
+
+
+def test_fifo_channel_put_then_get():
+    sim = Simulator()
+    ch = FifoChannel(sim)
+    ch.put("a")
+    ch.put("b")
+    got = []
+
+    def consumer(sim):
+        got.append((yield ch.get()))
+        got.append((yield ch.get()))
+
+    sim.process(consumer(sim))
+    sim.run()
+    assert got == ["a", "b"]
+
+
+def test_fifo_channel_blocking_get():
+    sim = Simulator()
+    ch = FifoChannel(sim)
+    got = []
+
+    def consumer(sim):
+        got.append((yield ch.get()))
+        got.append(sim.now)
+
+    sim.process(consumer(sim))
+    sim.schedule_call(3.0, lambda: ch.put("late"))
+    sim.run()
+    assert got == ["late", 3.0]
+
+
+def test_fifo_channel_try_get():
+    sim = Simulator()
+    ch = FifoChannel(sim)
+    assert ch.try_get() is None
+    ch.put(1)
+    assert len(ch) == 1
+    assert ch.try_get() == 1
+    assert ch.try_get() is None
+
+
+def test_fifo_channel_multiple_getters_fifo():
+    sim = Simulator()
+    ch = FifoChannel(sim)
+    got = []
+
+    def consumer(sim, tag):
+        v = yield ch.get()
+        got.append((tag, v))
+
+    sim.process(consumer(sim, "first"))
+    sim.process(consumer(sim, "second"))
+    sim.schedule_call(1.0, lambda: ch.put("x"))
+    sim.schedule_call(2.0, lambda: ch.put("y"))
+    sim.run()
+    assert got == [("first", "x"), ("second", "y")]
+
+
+def test_mpsc_push_pop_roundtrip():
+    sim = Simulator()
+    q = MPSCQueue(sim)
+
+    def producer(sim):
+        yield q.push("item")
+
+    sim.process(producer(sim))
+    sim.run()
+    item, cost = q.pop()
+    assert item == "item"
+    assert cost == q.pop_cost
+    assert q.pushes == 1
+    assert q.pops == 1
+
+
+def test_mpsc_empty_pop_cheaper():
+    sim = Simulator()
+    q = MPSCQueue(sim)
+    item, cost = q.pop()
+    assert item is None
+    assert cost < q.pop_cost
+    assert q.empty_pops == 1
+
+
+def test_mpsc_push_costs_time():
+    sim = Simulator()
+    q = MPSCQueue(sim, push_cost=1.0, contention_factor=0.0)
+    t = []
+
+    def producer(sim):
+        yield q.push("a")
+        t.append(sim.now)
+
+    sim.process(producer(sim))
+    sim.run()
+    assert t == [1.0]
+
+
+def test_mpsc_preserves_fifo_under_concurrent_pushes():
+    sim = Simulator()
+    q = MPSCQueue(sim, push_cost=0.5, contention_factor=0.0)
+
+    def producer(sim, v, delay):
+        yield sim.timeout(delay)
+        yield q.push(v)
+
+    for i, d in enumerate([0.0, 0.1, 0.2]):
+        sim.process(producer(sim, i, d))
+    sim.run()
+    out = [q.pop()[0] for _ in range(3)]
+    assert out == [0, 1, 2]
+    assert q.max_depth == 3

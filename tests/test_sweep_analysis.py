@@ -1,0 +1,138 @@
+"""Tests for the sweep utility and Octo-Tiger analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.apps.octotiger import (FmmModel, OctoTigerConfig, build_octree,
+                                  partition_octree)
+from repro.apps.octotiger.analysis import (communication_matrix,
+                                           load_balance, traffic_summary)
+from repro.bench.sweep import SweepResult, SweepSpec, run_sweep
+
+
+# ---------------------------------------------------------------------------
+# SweepSpec / run_sweep
+# ---------------------------------------------------------------------------
+def test_spec_points_cartesian_product():
+    spec = SweepSpec(axes={"a": [1, 2], "b": ["x", "y", "z"]})
+    pts = spec.points()
+    assert len(pts) == 6
+    assert {"a": 2, "b": "y"} in pts
+    assert spec.size == 6
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        SweepSpec(axes={})
+    with pytest.raises(ValueError):
+        SweepSpec(axes={"a": []})
+
+
+def test_run_sweep_invokes_fn_per_point_and_repeat():
+    calls = []
+
+    def fn(a, seed):
+        calls.append((a, seed))
+        return {"m": a * 10.0}
+
+    spec = SweepSpec(axes={"a": [1, 2]}, repeats=3)
+    res = run_sweep(fn, spec)
+    assert len(res) == 6
+    assert len({s for _, s in calls}) == 3      # distinct seeds per point
+    assert res.filter(a=2)[0]["m"] == 20.0
+    assert res.metrics() == ["m"]
+
+
+def test_run_sweep_metric_axis_collision_rejected():
+    spec = SweepSpec(axes={"a": [1]})
+    with pytest.raises(ValueError, match="collides"):
+        run_sweep(lambda a, seed: {"a": 1.0}, spec)
+
+
+def test_run_sweep_progress_callback():
+    seen = []
+    spec = SweepSpec(axes={"a": [1, 2]}, repeats=2)
+    run_sweep(lambda a, seed: {"m": 0.0}, spec,
+              progress=lambda done, total: seen.append((done, total)))
+    assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+
+def test_sweep_result_roundtrip(tmp_path):
+    spec = SweepSpec(axes={"a": [1, 2]})
+    res = run_sweep(lambda a, seed: {"m": float(a)}, spec)
+    path = str(tmp_path / "sweep.json")
+    res.save(path)
+    loaded = SweepResult.load(path)
+    assert loaded.axes == res.axes
+    assert loaded.rows == res.rows
+
+
+def test_to_series_groups_and_averages():
+    spec = SweepSpec(axes={"cfg": ["x", "y"], "size": [8, 64]}, repeats=2)
+
+    def fn(cfg, size, seed):
+        return {"rate": size * (2.0 if cfg == "x" else 1.0)
+                + (seed % 3)}
+
+    res = run_sweep(fn, spec)
+    series = res.to_series(x="size", y="rate", group_by="cfg")
+    assert [s.label for s in series] == ["x", "y"]
+    sx = series[0]
+    assert sx.xs == [8.0, 64.0]
+    assert sx.ys[1] > sx.ys[0]
+    # repeats produce a (possibly zero) error bar
+    assert len(sx.yerr) == 2
+
+
+# ---------------------------------------------------------------------------
+# Octo-Tiger analysis
+# ---------------------------------------------------------------------------
+def make_model(n_loc=4, substeps=2, fields=3):
+    tree = build_octree(max_level=3, base_level=3)
+    partition_octree(tree, n_loc)
+    cfg = OctoTigerConfig(max_level=3, base_level=3, substeps=substeps,
+                          boundary_fields=fields)
+    return FmmModel(tree, n_loc, substeps=substeps, fields=fields), cfg
+
+
+def test_load_balance_near_perfect_for_uniform_tree():
+    model, _ = make_model()
+    lb = load_balance(model)
+    assert lb["leaves_total"] == 512
+    assert lb["imbalance"] == pytest.approx(1.0, abs=0.02)
+
+
+def test_communication_matrix_properties():
+    model, cfg = make_model()
+    mat = communication_matrix(model, cfg)
+    n = model.n_localities
+    assert mat.shape == (n, n)
+    assert (np.diag(mat) == 0).all()
+    assert mat.sum() > 0
+    # boundary exchange is symmetric in bytes (same sizes both ways);
+    # m2m/l2l adds symmetric pairs too when sizes match
+    if cfg.m2m_bytes == cfg.l2l_bytes:
+        assert (mat == mat.T).all()
+
+
+def test_communication_scales_with_substeps_and_fields():
+    m1, c1 = make_model(substeps=1, fields=1)
+    m2, c2 = make_model(substeps=2, fields=3)
+    t1 = traffic_summary(m1, c1)
+    t2 = traffic_summary(m2, c2)
+    assert t2["bytes_per_step"] > 5 * t1["bytes_per_step"]
+    assert 0.0 < t1["remote_neighbor_fraction"] < 1.0
+
+
+def test_traffic_summary_single_locality_zero():
+    model, cfg = make_model(n_loc=1)
+    t = traffic_summary(model, cfg)
+    assert t["bytes_per_step"] == 0.0
+    assert t["remote_neighbor_fraction"] == 0.0
+
+
+def test_more_localities_more_remote_traffic():
+    m2, c = make_model(n_loc=2)
+    m8, _ = make_model(n_loc=8)
+    assert traffic_summary(m8, c)["remote_neighbor_fraction"] > \
+        traffic_summary(m2, c)["remote_neighbor_fraction"]

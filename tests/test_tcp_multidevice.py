@@ -1,0 +1,237 @@
+"""Tests for the TCP parcelport and the multi-device LCI extension."""
+
+import pytest
+
+from repro import LAPTOP, make_runtime
+from repro.hpx_rt import HpxRuntime
+from repro.lci_sim import DEFAULT_LCI_PARAMS
+from repro.netsim import Fabric, NetMsg, TESTNET
+from repro.parcelport import (PPConfig, TcpParcelport,
+                              make_parcelport_factory)
+from repro.sim import Simulator
+from repro.tcp_sim import DEFAULT_TCP_PARAMS, TcpStack
+
+
+class FakeWorker:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def cpu(self, us):
+        return self.sim.timeout(us)
+
+    def lock(self, lk):
+        yield lk.acquire()
+
+
+# ---------------------------------------------------------------------------
+# TCP stack
+# ---------------------------------------------------------------------------
+def make_tcp_pair(params=DEFAULT_TCP_PARAMS):
+    sim = Simulator()
+    fabric = Fabric(sim, TESTNET)
+    a = TcpStack(sim, fabric.add_node(0), rank=0, params=params)
+    b = TcpStack(sim, fabric.add_node(1), rank=1, params=params)
+    return sim, FakeWorker(sim), a, b
+
+
+def test_tcp_message_roundtrip():
+    sim, w, a, b = make_tcp_pair()
+    got = []
+
+    def sender():
+        yield from a.send_msg(w, 1, 500, meta="hello")
+
+    def receiver():
+        yield sim.timeout(100.0)
+        ready = yield from b.poll(w)
+        got.extend(ready)
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run(max_events=10000)
+    assert got == [(0, "hello")]
+    assert b.stats.counters["msgs_recv"] == 1
+
+
+def test_tcp_segments_large_messages():
+    params = DEFAULT_TCP_PARAMS.with_(mss_bytes=1000)
+    sim, w, a, b = make_tcp_pair(params)
+    got = []
+
+    def sender():
+        yield from a.send_msg(w, 1, 3500, meta="big")
+
+    def receiver():
+        yield sim.timeout(100.0)
+        while not got:
+            ready = yield from b.poll(w)
+            got.extend(ready)
+            yield sim.timeout(1.0)
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run(max_events=100000)
+    assert got == [(0, "big")]
+    assert a.stats.counters["segments_sent"] == 4
+    assert b.stats.counters["segments_recv"] == 4
+
+
+def test_tcp_first_send_pays_connect():
+    sim, w, a, b = make_tcp_pair()
+    times = []
+
+    def sender():
+        t0 = sim.now
+        yield from a.send_msg(w, 1, 10, meta=None)
+        times.append(sim.now - t0)
+        t0 = sim.now
+        yield from a.send_msg(w, 1, 10, meta=None)
+        times.append(sim.now - t0)
+
+    sim.process(sender())
+    sim.run(max_events=10000)
+    assert times[0] > times[1]  # handshake only once
+    assert times[0] - times[1] == pytest.approx(DEFAULT_TCP_PARAMS.connect_us)
+    assert a.stats.counters["connects"] == 1
+
+
+def test_tcp_streams_preserve_order():
+    sim, w, a, b = make_tcp_pair()
+    got = []
+
+    def sender():
+        for i in range(5):
+            yield from a.send_msg(w, 1, 100, meta=i)
+
+    def receiver():
+        yield sim.timeout(200.0)
+        while len(got) < 5:
+            ready = yield from b.poll(w)
+            got.extend(m for _, m in ready)
+            yield sim.timeout(1.0)
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run(max_events=100000)
+    assert got == [0, 1, 2, 3, 4]
+
+
+# ---------------------------------------------------------------------------
+# TCP parcelport end-to-end
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("config", ["tcp", "tcp_i"])
+def test_tcp_parcelport_echo(config):
+    rt = make_runtime(config, platform=LAPTOP, n_localities=2)
+    done = rt.new_latch(6)
+    got = []
+
+    def sink(worker, i, blob):
+        got.append(i)
+        done.count_down()
+        return None
+
+    rt.register_action("sink", sink)
+
+    def sender(worker):
+        for i in range(6):
+            yield from rt.locality(0).apply(worker, 1, "sink", (i, "x"),
+                                            arg_sizes=[8, 20000])
+
+    rt.boot()
+    rt.locality(0).spawn(sender)
+    rt.run_until(done, max_events=2_000_000)
+    assert sorted(got) == list(range(6))
+    assert isinstance(rt.localities[0].parcelport, TcpParcelport)
+
+
+def test_tcp_slower_than_lci():
+    """The paper's premise: TCP is the legacy, slowest parcelport."""
+    def latency(config):
+        rt = make_runtime(config, platform=LAPTOP, n_localities=2)
+        done = rt.new_latch(1)
+
+        def sink(worker, blob):
+            done.count_down()
+            return None
+
+        rt.register_action("sink", sink)
+
+        def sender(worker):
+            yield from rt.locality(0).apply(worker, 1, "sink", ("x",),
+                                            arg_sizes=[4096])
+
+        rt.boot()
+        rt.locality(0).spawn(sender)
+        rt.run_until(done, max_events=1_000_000)
+        return rt.now
+
+    assert latency("tcp_i") > latency("lci_psr_cq_pin_i")
+
+
+# ---------------------------------------------------------------------------
+# multi-device LCI (§7.2 extension)
+# ---------------------------------------------------------------------------
+def make_multidev_runtime(num_devices, config="lci_psr_cq_mt_i"):
+    cfg = PPConfig.parse(config)
+    params = DEFAULT_LCI_PARAMS.with_(num_devices=num_devices)
+    factory = make_parcelport_factory(cfg, lci_params=params)
+    return HpxRuntime(LAPTOP, 2, factory, immediate=cfg.immediate)
+
+
+@pytest.mark.parametrize("config", ["lci_psr_cq_mt_i", "lci_sr_sy_pin_i"])
+def test_multi_device_delivers_correctly(config):
+    rt = make_multidev_runtime(3, config)
+    done = rt.new_latch(12)
+    got = []
+
+    def sink(worker, i, blob):
+        got.append(i)
+        done.count_down()
+        return None
+
+    rt.register_action("sink", sink)
+
+    def sender(worker):
+        for i in range(12):
+            # mix of small and zero-copy messages across devices
+            size = 20000 if i % 3 == 0 else 64
+            yield from rt.locality(0).apply(worker, 1, "sink", (i, "x"),
+                                            arg_sizes=[8, size])
+
+    rt.boot()
+    rt.locality(0).spawn(sender)
+    rt.run_until(done, max_events=3_000_000)
+    assert sorted(got) == list(range(12))
+
+
+def test_multi_device_spreads_traffic():
+    rt = make_multidev_runtime(3)
+    done = rt.new_latch(30)
+
+    def sink(worker, i):
+        done.count_down()
+        return None
+
+    rt.register_action("sink", sink)
+
+    def sender(worker):
+        for i in range(30):
+            yield from rt.locality(0).apply(worker, 1, "sink", (i,))
+
+    rt.boot()
+    rt.locality(0).spawn(sender)
+    rt.run_until(done, max_events=3_000_000)
+    pp = rt.localities[0].parcelport
+    assert len(pp.devices) == 3
+    used = [d.stats.counters.get("putva", 0) for d in pp.devices]
+    # the tag-block hash spreads headers over every device
+    assert all(u > 0 for u in used)
+    assert sum(used) == 30
+
+
+def test_single_device_is_default():
+    rt = make_runtime("lci_psr_cq_pin_i", platform=LAPTOP)
+    rt.boot()
+    assert len(rt.localities[0].parcelport.devices) == 1
+    assert rt.localities[0].parcelport.device is \
+        rt.localities[0].parcelport.devices[0]

@@ -1,0 +1,106 @@
+"""Tests for the shape-check validation engine."""
+
+import pytest
+
+from repro.bench import CheckResult, FigureResult, Series, checks_for, validate
+from repro.bench.validation import CHECKS
+
+
+def fig_with(figure, data):
+    series = []
+    for label, ys in data.items():
+        s = Series(label)
+        for i, y in enumerate(ys):
+            s.add(float(i + 1), y)
+        series.append(s)
+    return FigureResult(figure, "t", series)
+
+
+def test_every_registered_figure_has_checks():
+    for name in ("fig1", "fig2", "fig4", "fig5", "fig7", "fig8", "fig9",
+                 "fig10", "fig11"):
+        assert checks_for(name), name
+    assert checks_for("fig3") == []   # covered via fig1/fig2 targets
+
+
+def test_fig1_checks_pass_on_paper_like_shape():
+    r = fig_with("fig1", {
+        "lci_psr_cq_pin_i": [100, 800],
+        "lci_psr_cq_pin": [100, 450],
+        "mpi": [100, 450],
+        "mpi_i": [100, 250],
+    })
+    results = validate(r)
+    assert results and all(c.passed for c in results)
+
+
+def test_fig1_checks_fail_when_mpi_wins():
+    r = fig_with("fig1", {
+        "lci_psr_cq_pin_i": [100, 300],
+        "lci_psr_cq_pin": [100, 450],
+        "mpi": [100, 800],
+        "mpi_i": [100, 700],
+    })
+    assert any(not c.passed for c in validate(r))
+
+
+def test_fig4_decline_check():
+    good = fig_with("fig4", {
+        "lci_psr_cq_pin_i": [100, 220, 225],
+        "lci_psr_cq_pin": [90, 120, 110],
+        "mpi": [100, 150, 80],
+        "mpi_i": [40, 80, 20],
+    })
+    assert all(c.passed for c in validate(good))
+    flat_mpi = fig_with("fig4", {
+        "lci_psr_cq_pin_i": [100, 220, 225],
+        "lci_psr_cq_pin": [90, 120, 110],
+        "mpi": [100, 120, 130],   # no decline -> fail
+        "mpi_i": [40, 80, 20],
+    })
+    assert any(not c.passed for c in validate(flat_mpi))
+
+
+def test_fig7_latency_ordering_check():
+    good = fig_with("fig7", {
+        "lci_psr_cq_pin_i": [4, 10],
+        "lci_psr_cq_pin": [6, 12],
+        "mpi": [7, 15],
+        "mpi_i": [5, 13],
+    })
+    assert all(c.passed for c in validate(good))
+    bad = fig_with("fig7", {
+        "lci_psr_cq_pin_i": [8, 20],   # slower than mpi_i -> fail
+        "lci_psr_cq_pin": [6, 12],
+        "mpi": [7, 15],
+        "mpi_i": [5, 13],
+    })
+    assert any(not c.passed for c in validate(bad))
+
+
+def test_fig10_collapse_check():
+    good = fig_with("fig10", {
+        "lci": [9, 80],
+        "mpi": [8, 55],
+        "mpi_i": [8, 13],
+    })
+    assert all(c.passed for c in validate(good))
+
+
+def test_missing_series_reported_not_raised():
+    r = fig_with("fig1", {"lci_psr_cq_pin_i": [1, 2]})
+    results = validate(r)
+    assert results
+    assert all(not c.passed for c in results)
+    assert any("missing series" in c.detail for c in results)
+
+
+def test_checkresult_render():
+    c = CheckResult("x", True, "fine")
+    assert c.render() == "[PASS] x: fine"
+    assert "[FAIL]" in CheckResult("x", False, "bad").render()
+
+
+def test_unknown_figure_validates_empty():
+    r = fig_with("fig99", {"a": [1]})
+    assert validate(r) == []

@@ -20,6 +20,7 @@ Quick start::
     rt = make_runtime("lci_psr_cq_pin_i")   # see examples/quickstart.py
 """
 
+from .faults import FaultInjector, FaultPlan, ParcelSendError, RetryPolicy
 from .hpx_rt import (EXPANSE, LAPTOP, ROSTAM, CostModel, HpxRuntime,
                      PlatformSpec, platform_by_name)
 from .parcelport import (ALL_LCI_VARIANTS, PPConfig, TABLE1,
@@ -31,6 +32,7 @@ __all__ = [
     "HpxRuntime", "PlatformSpec", "CostModel",
     "EXPANSE", "ROSTAM", "LAPTOP", "platform_by_name",
     "PPConfig", "TABLE1", "ALL_LCI_VARIANTS", "make_parcelport_factory",
+    "FaultPlan", "RetryPolicy", "FaultInjector", "ParcelSendError",
     "make_runtime",
     "__version__",
 ]

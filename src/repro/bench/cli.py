@@ -15,6 +15,7 @@ import sys
 import time
 from typing import List, Optional
 
+from ..faults import FaultPlan
 from .figures import FIGURES, platform_tables, table_abbreviations
 from .validation import validate
 
@@ -37,10 +38,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                              " 3 full)")
     parser.add_argument("--no-plot", action="store_true",
                         help="suppress the ASCII chart")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="fault-plan DSL for the fault_smoke figure, "
+                             "e.g. 'drop=0.05,corrupt=0.01' (see "
+                             "docs/FAULTS.md)")
     parser.add_argument("--validate", action="store_true",
                         help="run the figure's EXPERIMENTS.md shape checks "
                              "and set a nonzero exit code on failure")
     args = parser.parse_args(argv)
+
+    if args.faults is not None:
+        try:
+            FaultPlan.parse(args.faults)
+        except ValueError as exc:
+            parser.error(f"--faults: {exc}")
 
     if args.figure == "tables":
         print(table_abbreviations())
@@ -52,7 +63,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures = 0
     for name in names:
         t0 = time.time()
-        result = FIGURES[name](quick=not args.full, repeats=args.repeats)
+        kwargs = {}
+        if args.faults is not None:
+            if name != "fault_smoke":
+                parser.error("--faults only applies to fault_smoke")
+            kwargs["spec"] = args.faults
+        result = FIGURES[name](quick=not args.full, repeats=args.repeats,
+                               **kwargs)
         print(result.render(plot=not args.no_plot))
         if args.validate:
             for check in validate(result):

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..faults import FaultPlan
 from ..hpx_rt.platform import EXPANSE, ROSTAM, PlatformSpec
 from ..parcelport import ALL_LCI_VARIANTS, PPConfig, TABLE1
 from .harness import Measurement, Series, repeat
@@ -30,7 +31,7 @@ __all__ = ["FigureResult", "FIGURES",
            "table_abbreviations", "platform_tables",
            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
            "fig7", "fig8", "fig9", "fig10", "fig11",
-           "ablation_mpi_pp", "ablation_aggregation"]
+           "ablation_mpi_pp", "ablation_aggregation", "fault_smoke"]
 
 #: the 11 configurations of Figs 3/6/7/8/9
 ALL_CONFIGS = (["lci_psr_cq_pin"] + ALL_LCI_VARIANTS + ["mpi", "mpi_i"])
@@ -63,6 +64,12 @@ class FigureResult:
         if plot and any(s.xs for s in self.series) \
                 and len({x for s in self.series for x in s.xs}) > 1:
             parts.append(ascii_plot(self.series, title=self.y_name))
+        counters = self.meta.get("counters")
+        if counters:
+            for key in sorted(counters):
+                body = "  ".join(f"{k}={v:g}" for k, v in
+                                 sorted(counters[key].items())) or "(none)"
+                parts.append(f"-- {key}: {body}")
         return "\n".join(parts)
 
     def show(self) -> None:
@@ -375,6 +382,50 @@ def ablation_aggregation(quick: bool = True, repeats: Optional[int] = None
                         meta={"peaks": {s.label: s.peak for s in series}})
 
 
+# ---------------------------------------------------------------------------
+# fault-injection smoke (not a paper figure: exercises repro.faults)
+# ---------------------------------------------------------------------------
+def fault_smoke(quick: bool = True, repeats: Optional[int] = None,
+                spec: Optional[str] = None) -> FigureResult:
+    """Message rate under an injected fault plan, MPI vs LCI.
+
+    Sweeps drop probability (or runs a user ``spec`` once per config) and
+    reports the achieved rate plus retransmit/failure counters — the
+    headline check that lossy runs terminate instead of hanging.
+    """
+    repeats = repeats or 1
+    total = 1000 if quick else 5000
+    configs = ["lci_psr_cq_pin_i", "mpi_i"]
+    drops = [0.0, 0.02, 0.1] if spec is None else [None]
+    series = []
+    counters: Dict[str, Dict[str, float]] = {}
+    for cfg in configs:
+        s = Series(label=cfg)
+        for i, drop in enumerate(drops):
+            plan = (FaultPlan.parse(spec) if spec is not None
+                    else FaultPlan(drop_prob=drop, corrupt_prob=drop / 4))
+            params = MessageRateParams(msg_size=8, batch=50,
+                                       total_msgs=total,
+                                       inject_rate_kps=None,
+                                       platform=EXPANSE)
+            res = repeat(lambda seed, plan=plan:
+                         run_message_rate(cfg, params, seed,
+                                          fault_plan=plan).as_dict(),
+                         n=repeats)
+            x = drop if drop is not None else float(i)
+            s.add(x, res["message_rate_kps"])
+            if plan is not None and not plan.is_zero:
+                counters[f"{cfg}@{plan.describe()}"] = {
+                    k: m.mean for k, m in res.items()
+                    if k.startswith("fault.") or k == "failed_msgs"}
+        series.append(s)
+    return FigureResult("fault_smoke",
+                        "Message rate under fault injection (8B)",
+                        series, x_name="drop_prob", y_name="rate K/s",
+                        meta={"total": total, "counters": counters,
+                              "spec": spec})
+
+
 #: registry for the CLI
 FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig1": fig1, "fig2": fig2, "fig3": fig3, "fig4": fig4, "fig5": fig5,
@@ -382,4 +433,5 @@ FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig10": fig10, "fig11": fig11,
     "ablation_mpi_pp": ablation_mpi_pp,
     "ablation_aggregation": ablation_aggregation,
+    "fault_smoke": fault_smoke,
 }

@@ -38,14 +38,21 @@ class Measurement:
         return f"{self.mean:.3g}±{self.std:.2g}"
 
 
-def repeat(fn: Callable[[int], Dict[str, float]], n: int = 3,
-           base_seed: int = 1000) -> Dict[str, Measurement]:
-    """Run ``fn(seed)`` ``n`` times; aggregate each returned key."""
+def repeat(fn: Callable[..., Dict[str, float]], n: int = 3,
+           base_seed: int = 1000,
+           fn_kwargs: "Dict[str, Any] | None" = None
+           ) -> Dict[str, Measurement]:
+    """Run ``fn(seed, **fn_kwargs)`` ``n`` times; aggregate each key.
+
+    ``fn_kwargs`` threads extra experiment knobs (e.g. a fault plan)
+    through to every repetition without wrapping ``fn`` in a lambda.
+    """
     if n < 1:
         raise ValueError("need at least one repetition")
+    kw = fn_kwargs or {}
     acc: Dict[str, List[float]] = {}
     for i in range(n):
-        out = fn(base_seed + i * 7919)
+        out = fn(base_seed + i * 7919, **kw)
         for k, v in out.items():
             acc.setdefault(k, []).append(float(v))
     return {k: Measurement(v) for k, v in acc.items()}

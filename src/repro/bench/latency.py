@@ -8,9 +8,10 @@ every pong is a separate HPX task.  One-way latency = total time /
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
+from ..faults import FaultPlan, RetryPolicy
 from ..hpx_rt.platform import EXPANSE, PlatformSpec
 from ..parcelport import PPConfig
 from .. import make_runtime
@@ -35,6 +36,10 @@ class LatencyResult:
     config: str
     params: LatencyParams
     total_time_us: float
+    #: ping-pong chains killed by a message failure (faults only)
+    failed_chains: int = 0
+    #: merged fault counters from the runtime (empty without a fault plan)
+    faults: Dict[str, int] = field(default_factory=dict)
 
     @property
     def one_way_latency_us(self) -> float:
@@ -42,19 +47,40 @@ class LatencyResult:
         return self.total_time_us / (2 * self.params.steps)
 
     def as_dict(self) -> Dict[str, float]:
-        return {"one_way_latency_us": self.one_way_latency_us}
+        out = {"one_way_latency_us": self.one_way_latency_us}
+        if self.faults or self.failed_chains:
+            out["failed_chains"] = float(self.failed_chains)
+            for k, v in sorted(self.faults.items()):
+                out[f"fault.{k}"] = float(v)
+        return out
 
 
 def run_latency(config: "PPConfig | str", params: LatencyParams,
-                seed: int = 0xC0FFEE) -> LatencyResult:
-    """One latency run: ``window`` chains × ``steps`` round trips."""
+                seed: int = 0xC0FFEE,
+                fault_plan: Optional[FaultPlan] = None,
+                retry_policy: Optional[RetryPolicy] = None) -> LatencyResult:
+    """One latency run: ``window`` chains × ``steps`` round trips.
+
+    With a ``fault_plan``, a chain whose ping or pong exhausts its retries
+    is counted as failed and released — the run still terminates.
+    """
     if isinstance(config, str):
         config = PPConfig.parse(config)
     p = params
-    rt = make_runtime(config, platform=p.platform, n_localities=2, seed=seed)
+    rt = make_runtime(config, platform=p.platform, n_localities=2, seed=seed,
+                      fault_plan=fault_plan, retry_policy=retry_policy)
     sim = rt.sim
     done = rt.new_latch(p.window)
     size = p.msg_size
+    state = {"failed_chains": 0}
+
+    if fault_plan is not None:
+        def on_fail(parcel, exc):
+            # Exactly one ping or pong is in flight per chain, so a failed
+            # parcel kills exactly one chain: release its latch slot.
+            state["failed_chains"] += 1
+            done.count_down()
+        rt.on_parcel_failure = on_fail
 
     def ping(worker, token):
         # Runs on locality 1; answer with a pong.
@@ -84,4 +110,7 @@ def run_latency(config: "PPConfig | str", params: LatencyParams,
     rt.locality(0).spawn(starter, name="latency_start")
     rt.run_until(done, max_events=p.max_events)
     return LatencyResult(config=config.label, params=p,
-                         total_time_us=sim.now)
+                         total_time_us=sim.now,
+                         failed_chains=state["failed_chains"],
+                         faults=rt.fault_summary() if fault_plan is not None
+                         else {})

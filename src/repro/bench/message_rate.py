@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
+from ..faults import FaultPlan, RetryPolicy
 from ..hpx_rt.platform import EXPANSE, PlatformSpec
 from ..parcelport import PPConfig, make_parcelport_factory
 from .. import make_runtime
@@ -49,6 +50,10 @@ class MessageRateResult:
     inject_time_us: float
     comm_time_us: float
     total_msgs: int
+    #: messages reported failed after exhausting retries (faults only)
+    failed_msgs: int = 0
+    #: merged fault counters from the runtime (empty without a fault plan)
+    faults: Dict[str, int] = field(default_factory=dict)
 
     @property
     def achieved_injection_kps(self) -> float:
@@ -61,41 +66,74 @@ class MessageRateResult:
         return self.total_msgs / self.comm_time_us * 1e3
 
     def as_dict(self) -> Dict[str, float]:
-        return {
+        out = {
             "achieved_injection_kps": self.achieved_injection_kps,
             "message_rate_kps": self.message_rate_kps,
         }
+        # Keep the fault-free dict exactly as before (byte-identical
+        # reporting); fault keys appear only when a plan was active.
+        if self.faults or self.failed_msgs:
+            out["failed_msgs"] = float(self.failed_msgs)
+            for k, v in sorted(self.faults.items()):
+                out[f"fault.{k}"] = float(v)
+        return out
 
 
 def run_message_rate(config: "PPConfig | str", params: MessageRateParams,
-                     seed: int = 0xC0FFEE) -> MessageRateResult:
-    """One full message-rate run for one configuration."""
+                     seed: int = 0xC0FFEE,
+                     fault_plan: Optional[FaultPlan] = None,
+                     retry_policy: Optional[RetryPolicy] = None
+                     ) -> MessageRateResult:
+    """One full message-rate run for one configuration.
+
+    With a ``fault_plan``, messages may be dropped/corrupted and the
+    parcelport retransmits them; messages that exhaust their retries are
+    counted as failed and the benchmark still terminates (no hang).
+    """
     if isinstance(config, str):
         config = PPConfig.parse(config)
     p = params
     n_tasks, rem = divmod(p.total_msgs, p.batch)
     if rem:
         raise ValueError("total_msgs must be a multiple of batch")
-    rt = make_runtime(config, platform=p.platform, n_localities=2, seed=seed)
+    rt = make_runtime(config, platform=p.platform, n_localities=2, seed=seed,
+                      fault_plan=fault_plan, retry_policy=retry_policy)
     sim = rt.sim
 
-    state = {"received": 0, "tasks_done": 0,
+    state = {"received": 0, "failed": 0, "tasks_done": 0,
              "t_inject": None, "t_comm": None}
     done = rt.new_future()
 
+    def finish():
+        if state["t_comm"] is None:
+            state["t_comm"] = sim.now
+            done.set_result(sim.now)
+
     def sink(worker, payload):
         state["received"] += 1
-        if state["received"] == p.total_msgs:
+        if state["received"] + state["failed"] == p.total_msgs:
             # Receiver signals back with one short message.
             yield from worker.locality.apply(worker, 0, "ack", ())
 
     def ack(worker):
-        state["t_comm"] = sim.now
-        done.set_result(sim.now)
+        finish()
         return None
 
     rt.register_action("sink", sink)
     rt.register_action("ack", ack)
+
+    if fault_plan is not None:
+        def on_fail(parcel, exc):
+            if parcel.action == "sink":
+                state["failed"] += 1
+                if state["received"] + state["failed"] == p.total_msgs:
+                    # Every message is accounted for, but the receiver can
+                    # no longer see the full count — finish from here.
+                    finish()
+            else:
+                # The final ack round itself failed.
+                finish()
+        rt.on_parcel_failure = on_fail
 
     sender = rt.locality(0)
     size = p.msg_size
@@ -130,4 +168,6 @@ def run_message_rate(config: "PPConfig | str", params: MessageRateParams,
     return MessageRateResult(
         config=config.label, params=p,
         inject_time_us=state["t_inject"], comm_time_us=state["t_comm"],
-        total_msgs=p.total_msgs)
+        total_msgs=p.total_msgs,
+        failed_msgs=state["failed"],
+        faults=rt.fault_summary() if fault_plan is not None else {})

@@ -56,6 +56,12 @@ def format_series_table(series: List[Series], x_name: str = "x",
 
 def _log_scale(values: List[float], lo: float, hi: float, n: int) -> List[int]:
     out = []
+    # zero (e.g. a 0.0 drop-probability point) has no log; clamp it to a
+    # synthetic decade below the positive range instead of crashing
+    if hi <= 0.0:
+        lo, hi = 1e-6, 1.0
+    elif lo <= 0.0:
+        lo = hi / 1e6
     llo, lhi = math.log10(lo), math.log10(hi)
     span = max(lhi - llo, 1e-12)
     for v in values:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, List, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 __all__ = ["Parcel", "HpxMessage", "PARCEL_METADATA_BYTES",
            "TRANSMISSION_ENTRY_BYTES"]
@@ -76,6 +76,10 @@ class HpxMessage:
     non_zc_size: int          #: bytes in the non-zero-copy chunk
     zc_sizes: List[int]       #: one entry per zero-copy chunk
     trans_size: int           #: transmission-chunk bytes (0 if no zc chunks)
+    #: end-to-end sequence number, assigned by the parcelport's
+    #: reliability layer on first transmission (None when reliability is
+    #: off); retransmissions reuse it so the receiver can dedup replays
+    seq: Optional[int] = None
 
     @property
     def has_zero_copy(self) -> bool:

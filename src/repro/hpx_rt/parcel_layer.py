@@ -48,6 +48,9 @@ class ParcelLayer:
             acquire_cost=self.cost.spinlock_acquire_us)
         self._free_conns: Dict[int, List[object]] = defaultdict(list)
         self._conn_count: Dict[int, int] = defaultdict(int)
+        #: bounded sample of parcels whose message failed under faults
+        self.failed_parcels: List[Parcel] = []
+        self._max_failed_kept = 256
 
     def _qlock(self, dest: int) -> SpinLock:
         lk = self._queue_locks.get(dest)
@@ -156,6 +159,52 @@ class ParcelLayer:
         yield worker.cpu(self.cost.cache_op_us)
         self._free_conns[conn.dest].append(conn)
         self._cache_lock.release()
+
+    # -- fault-recovery hooks (called by the parcelport's reliability layer)
+    def release_connection(self, conn) -> None:
+        """Return an *aborted* sender connection to the cache.
+
+        The reliability layer withdraws a connection mid-chain before
+        retransmitting its message; the normal ``on_complete`` path will
+        never run for it, so without this the cache's per-destination
+        capacity would bleed away until every send deferred forever.
+        Pure bookkeeping (no simulated cost — the abort path already
+        charged its own), plus a queue pump in case parcels were waiting
+        on the capacity we just returned.
+        """
+        self.stats.inc("connections_released")
+        if self.immediate:
+            return                       # transient conns: nothing cached
+        # The aborted object itself is retired (late completions from its
+        # old chain must keep seeing ``aborted``); only its capacity slot
+        # returns, so the next pump can mint a fresh connection.
+        dest = conn.dest
+        if self._conn_count[dest] > 0:
+            self._conn_count[dest] -= 1
+
+        def drain(w, dest=dest):
+            yield from self._pump(w, dest)
+
+        self.locality.spawn(drain, name="pp_drain")
+
+    def report_send_failure(self, msg, exc: Exception) -> None:
+        """An HPX message exhausted its retries: degrade gracefully.
+
+        Counts the failure, remembers a bounded sample of failed parcels,
+        and invokes the runtime's ``on_parcel_failure`` hook per parcel
+        (applications use it to fail the corresponding futures) — the
+        guaranteed alternative to an infinite hang.
+        """
+        self.stats.inc("messages_failed")
+        self.stats.inc("parcels_failed", msg.num_parcels)
+        if len(self.failed_parcels) < self._max_failed_kept:
+            self.failed_parcels.extend(
+                msg.parcels[:self._max_failed_kept
+                            - len(self.failed_parcels)])
+        hook = getattr(self.locality.runtime, "on_parcel_failure", None)
+        if hook is not None:
+            for parcel in msg.parcels:
+                hook(parcel, exc)
 
     # -- introspection -------------------------------------------------------
     def queued_parcels(self, dest: Optional[int] = None) -> int:

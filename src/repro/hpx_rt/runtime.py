@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..faults import FaultInjector, FaultPlan, RetryPolicy
 from ..netsim.fabric import Fabric
 from ..sim.core import Event, Simulator
 from ..sim.rng import RngPool
@@ -113,7 +114,10 @@ class HpxRuntime:
                  immediate: bool = False,
                  cost: Optional[CostModel] = None,
                  seed: int = 0xC0FFEE,
-                 fabric_factory: Optional[Callable] = None):
+                 fabric_factory: Optional[Callable] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 reliable: Optional[bool] = None):
         if n_localities < 1:
             raise ValueError("need at least one locality")
         if n_localities > platform.max_nodes:
@@ -130,6 +134,26 @@ class HpxRuntime:
             self.fabric = Fabric(self.sim, platform.network)
         else:
             self.fabric = fabric_factory(self.sim, platform.network)
+        # Fault injection: a zero plan (or None) means *no* injector at
+        # all — the fault-free fast paths stay byte-identical to a build
+        # without the faults layer.
+        self.fault_plan = fault_plan
+        if fault_plan is not None and not fault_plan.is_zero:
+            self.fault_injector: Optional[FaultInjector] = FaultInjector(
+                self.sim, fault_plan, self.rng.stream("faults"))
+            self.fabric.injector = self.fault_injector
+        else:
+            self.fault_injector = None
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy())
+        #: parcelports build their reliability layer iff this is True;
+        #: defaults to "faults are active", overridable for tests that
+        #: want the ack protocol without losses (or vice versa)
+        self.reliable = (reliable if reliable is not None
+                         else self.fault_injector is not None)
+        #: hook(parcel, exc) invoked for every parcel of a message that
+        #: exhausted its retries — applications fail futures here
+        self.on_parcel_failure: Optional[Callable] = None
         self.actions: Dict[str, Callable] = {}
         self.running = True
         self.immediate = immediate
@@ -213,3 +237,28 @@ class HpxRuntime:
             if loc.parcel_layer is not None:
                 total.merge(loc.parcel_layer.stats)
         return total
+
+    def fault_summary(self) -> Dict[str, int]:
+        """Fault-injection counters, merged across all layers.
+
+        Empty dict when no injector is active and reliability is off.
+        """
+        out: Dict[str, int] = {}
+        if self.fault_injector is not None:
+            out.update(self.fault_injector.stats.counters)
+        keys = ("retransmits", "sends_failed", "dup_deliveries",
+                "acks_received", "acks_stale", "send_chains_aborted",
+                "recv_chains_expired", "tracked_sends")
+        for loc in self.localities:
+            pp = loc.parcelport
+            if pp is not None and getattr(pp, "reliability", None) is not None:
+                for k in keys:
+                    v = pp.stats.counters.get(k, 0)
+                    if v:
+                        out[k] = out.get(k, 0) + v
+            if loc.parcel_layer is not None:
+                for k in ("messages_failed", "parcels_failed"):
+                    v = loc.parcel_layer.stats.counters.get(k, 0)
+                    if v:
+                        out[k] = out.get(k, 0) + v
+        return out

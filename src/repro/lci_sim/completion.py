@@ -67,13 +67,19 @@ class Synchronizer:
 
     Each pending synchronizer must be polled individually (``test``),
     which is exactly the per-object overhead completion queues avoid.
+
+    ``cancelled`` marks a synchronizer whose operation was aborted (a
+    timed-out chain under fault injection): pending-list scans discard it
+    instead of testing forever — without the flag, every aborted op leaks
+    one permanently-pending synchronizer into the scan list.
     """
 
-    __slots__ = ("signaled", "value")
+    __slots__ = ("signaled", "value", "cancelled")
 
     def __init__(self) -> None:
         self.signaled = False
         self.value: Any = None
+        self.cancelled = False
 
     @property
     def signal_cost_us(self) -> float:

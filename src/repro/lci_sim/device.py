@@ -279,6 +279,9 @@ class LciDevice:
     def _dispatch(self, worker, msg: NetMsg, mult: float):
         p = self.params
         kind = msg.kind
+        if msg.corrupted:
+            yield from self._dispatch_corrupted(worker, msg, mult)
+            return
         # Two-sided traffic contends with worker-side receive posts on the
         # matching table; one-sided puts bypass it entirely.
         match_mult = mult * (1.0 + p.match_contention_factor
@@ -351,6 +354,58 @@ class LciDevice:
             self.stats.inc("long_recvs")
         else:  # pragma: no cover - guarded by construction
             raise ValueError(f"unknown LCI wire message {kind!r}")
+
+    def _dispatch_corrupted(self, worker, msg: NetMsg, mult: float):
+        """A message whose payload failed its (modelled) integrity check.
+
+        Matched two-sided operations complete with an ``("error", ctx,
+        reason)`` status so the layer above can react; control messages
+        (puts, RTS, CTS) and unmatched arrivals are discarded — recovery
+        is the sender's retransmission layer's job.  Corrupted messages
+        are never stashed in the unexpected store.
+        """
+        p = self.params
+        kind = msg.kind
+        yield worker.cpu(p.medium_dispatch_us * mult)  # checksum verify
+        if kind == "lci_medium":
+            op = self._pop_posted(msg.tag)
+            if op is not None:
+                yield worker.cpu(op.comp.signal_cost_us * mult)
+                op.comp.signal(("error", op.ctx, "corrupt"))
+                self.stats.inc("corrupt_errored")
+                return
+        elif kind == "lci_data":
+            _sop, rop = msg.payload
+            yield worker.cpu(rop.comp.signal_cost_us * mult)
+            rop.comp.signal(("error", rop.ctx, "corrupt"))
+            self.stats.inc("corrupt_errored")
+            return
+        self.stats.inc("corrupt_discarded")
+
+    def cancel_recv(self, tag: int, comp=None) -> int:
+        """Remove posted receives on ``tag`` (all, or only those completing
+        into ``comp``); returns how many were cancelled.
+
+        Used by the parcelport's reliability layer to reap receiver
+        chains whose sender gave up — otherwise every abandoned chain
+        leaks one posted op into the matching table forever.
+        """
+        bucket = self._posted.get(tag)
+        if not bucket:
+            return 0
+        if comp is None:
+            removed = len(bucket)
+            bucket.clear()
+        else:
+            keep = [op for op in bucket if op.comp is not comp]
+            removed = len(bucket) - len(keep)
+            bucket.clear()
+            bucket.extend(keep)
+        if not bucket:
+            del self._posted[tag]
+        if removed:
+            self.stats.inc("recvs_cancelled", removed)
+        return removed
 
     def _send_cts(self, worker, dst: int, sop: LciOp, rop: LciOp):
         p = self.params

@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, List, Optional, Tuple
 
+from ..faults import TransportError
 from ..netsim.message import NetMsg
 from ..netsim.nic import Nic
 from ..sim.core import Simulator
@@ -167,6 +168,9 @@ class MpiComm:
                 break
             yield worker.cpu(net.rx_overhead_us)
             kind = msg.kind
+            if msg.corrupted:
+                yield from self._handle_corrupted(worker, msg)
+                continue
             if kind == "mpi_eager":
                 req, scanned = self._match_posted(msg.src, msg.tag)
                 if scanned:
@@ -201,6 +205,11 @@ class MpiComm:
                 # the receive side — the "protocol switch" the paper blames
                 # for mpi_i's large-message latencies.
                 sreq, rreq = msg.payload
+                if sreq.cancelled:
+                    # The sender withdrew this rendezvous (aborted chain
+                    # under fault recovery): don't stream data for it.
+                    self.stats.inc("cts_for_cancelled")
+                    continue
                 yield worker.cpu(net.rndv_handshake_us)
                 total = sreq.size
                 nfrag = max(1, -(-total // p.rndv_frag_bytes))
@@ -234,6 +243,59 @@ class MpiComm:
                     self.stats.inc("rndv_recvs")
             else:  # pragma: no cover - guarded by construction
                 raise ValueError(f"unknown MPI wire message {kind!r}")
+
+    def _handle_corrupted(self, worker, msg: NetMsg):
+        """A wire message that failed its (modelled) integrity check.
+
+        Matched receives complete with :attr:`Request.error` set (a
+        simulated transport error the caller observes after ``test``);
+        control traffic and unmatched arrivals are discarded — corrupted
+        messages never enter the unexpected queue.
+        """
+        p = self.params
+        yield worker.cpu(p.progress_base_us * 0.5)  # checksum verify
+        kind = msg.kind
+        if kind == "mpi_eager":
+            req, scanned = self._match_posted(msg.src, msg.tag)
+            if scanned:
+                yield worker.cpu(scanned * p.match_scan_us)
+            if req is not None:
+                req.error = TransportError(
+                    f"corrupted eager message tag={msg.tag}")
+                self._complete(req)
+                self.stats.inc("corrupt_errored")
+                return
+        elif kind == "mpi_data":
+            _payload, rreq, _last = msg.payload
+            if not rreq.done:
+                rreq.error = TransportError(
+                    f"corrupted rendezvous fragment tag={msg.tag}")
+                self._complete(rreq)
+                self.stats.inc("corrupt_errored")
+                return
+        self.stats.inc("corrupt_discarded")
+
+    def cancel(self, req: Request) -> bool:
+        """MPI_Cancel (simplified): withdraw a request.
+
+        Posted receives are removed from the matching list; the request
+        completes immediately with ``cancelled`` set.  Already-complete
+        requests are left untouched (returns False), matching MPI's
+        "cancel either succeeds or the operation completes" contract.
+        Pure bookkeeping — no simulated cost, callable from any context.
+        """
+        if req.done:
+            return False
+        req.cancelled = True
+        if req.kind == "recv":
+            try:
+                self.posted.remove(req)
+            except ValueError:
+                pass
+        req.done = True
+        req.complete_t = self.sim.now
+        self.stats.inc("cancelled")
+        return True
 
     # ------------------------------------------------------------------
     # helpers

@@ -21,10 +21,16 @@ class Request:
     ``done`` is set by the library (at post time for buffered eager sends,
     from the progress engine for everything else).  ``value`` carries the
     matched payload for receives.
+
+    ``error`` is set (to a :class:`~repro.faults.TransportError`) when the
+    operation completed *unsuccessfully* — e.g. it matched a corrupted
+    message under fault injection; ``done`` is still True so ``test``
+    observes it.  ``cancelled`` marks a request withdrawn via
+    :meth:`~repro.mpi_sim.comm.MpiComm.cancel`.
     """
 
     __slots__ = ("kind", "peer", "size", "tag", "done", "value", "rid",
-                 "ctx", "posted_t", "complete_t")
+                 "ctx", "posted_t", "complete_t", "error", "cancelled")
 
     def __init__(self, kind: str, peer: int, size: int, tag: int,
                  ctx: Any = None):
@@ -38,6 +44,8 @@ class Request:
         self.rid = next(_req_ids)
         self.posted_t = 0.0
         self.complete_t = 0.0
+        self.error: Optional[Exception] = None
+        self.cancelled = False
 
     def matches(self, src: int, tag: int) -> bool:
         """Does this *posted receive* match an incoming (src, tag)?"""

@@ -7,13 +7,16 @@ paper's runs): the only shared bottlenecks are the per-node NICs themselves.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..sim.core import Simulator
 from ..sim.stats import StatSet
 from .message import NetMsg
 from .nic import Nic
 from .params import NetworkParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults import FaultInjector
 
 __all__ = ["Fabric"]
 
@@ -26,6 +29,9 @@ class Fabric:
         self.params = params
         self.nics: Dict[int, Nic] = {}
         self.stats = StatSet("fabric")
+        #: optional fault injector consulted on every transmit; None (the
+        #: default) keeps the fabric byte-identical to a fault-free build
+        self.injector: Optional["FaultInjector"] = None
 
     def add_node(self, node_id: int) -> Nic:
         """Create and attach the NIC for ``node_id``."""
@@ -51,6 +57,14 @@ class Fabric:
             raise KeyError(f"no NIC for destination node {msg.dst}")
         self.stats.inc("msgs")
         self.stats.add("bytes", msg.size)
+        if self.injector is not None:
+            verdict = self.injector.on_transmit(msg)
+            if verdict == "drop":
+                self.stats.inc("dropped_msgs")
+                return
+            if verdict == "corrupt":
+                msg.corrupted = True
+                self.stats.inc("corrupted_msgs")
         wire = 0.0 if msg.dst == msg.src else self.params.wire_latency_us
         arrive_t = tx_done_t + wire
         self.sim.schedule_call(arrive_t - self.sim.now,

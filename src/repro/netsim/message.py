@@ -48,7 +48,12 @@ class NetMsg:
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
     inject_t: float = 0.0
     arrive_t: float = 0.0
+    #: set by the fault injector: the message arrives, but its payload is
+    #: garbage — the receiving library surfaces an error status instead of
+    #: completing the matched operation normally
+    corrupted: bool = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = " CORRUPT" if self.corrupted else ""
         return (f"<NetMsg#{self.msg_id} {self.kind} {self.src}->{self.dst} "
-                f"{self.size}B tag={self.tag}>")
+                f"{self.size}B tag={self.tag}{flag}>")

@@ -87,6 +87,17 @@ class Nic:
 
     def deliver(self, msg: NetMsg) -> None:
         """Called by the fabric when ``msg`` lands in our RX ring."""
+        if self.fabric is not None and self.fabric.injector is not None:
+            inj = self.fabric.injector
+            until = inj.stalled_until(self.node_id, self.sim.now)
+            if until > self.sim.now:
+                # NIC stalled: the descriptor sits in hardware until the
+                # stall window ends (ordering preserved — deferred events
+                # re-enter the schedule in original sequence).
+                inj.stats.inc("stall_deferrals")
+                self.sim.schedule_call(until - self.sim.now,
+                                       lambda: self.deliver(msg))
+                return
         msg.arrive_t = self.sim.now
         self.ensure_vchans(msg.vchan + 1)
         self.rx_rings[msg.vchan].append(msg)

@@ -14,9 +14,11 @@ import abc
 import itertools
 from typing import Any, Callable, List, Optional, Tuple, TYPE_CHECKING
 
+from ..faults import ParcelSendError
 from ..hpx_rt.parcel import HpxMessage
 from ..hpx_rt.scheduler import Worker
 from ..sim.stats import StatSet
+from .reliability import ReliabilityLayer
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..hpx_rt.runtime import Locality
@@ -30,7 +32,8 @@ class Connection:
     """Per-HPX-message chain state (sender or receiver role)."""
 
     __slots__ = ("dest", "role", "msg", "plan", "stage", "tag_raw", "tag",
-                 "on_complete", "cur", "cid", "piggy_bytes", "src")
+                 "on_complete", "cur", "cid", "piggy_bytes", "src",
+                 "seq", "aborted", "last_active")
 
     def __init__(self, dest: int, role: str = "send"):
         self.dest = dest
@@ -49,6 +52,9 @@ class Connection:
         self.cur: Any = None               # in-flight request / completion
         self.piggy_bytes = 0
         self.src = -1
+        self.seq: Optional[int] = None     # end-to-end sequence number
+        self.aborted = False               # chain withdrawn by reliability
+        self.last_active = 0.0             # receiver-chain activity stamp
 
     @property
     def finished_chunks(self) -> bool:
@@ -83,6 +89,11 @@ class Parcelport(abc.ABC):
     #: fewer worker thread.
     reserves_progress_core: bool = False
 
+    #: True if this parcelport implements the ack/retransmit protocol
+    #: (``_send_ack`` and the abort hooks) — required to run under an
+    #: active fault plan.
+    supports_reliability: bool = False
+
     def __init__(self, locality: "Locality"):
         self.locality = locality
         self.sim = locality.sim
@@ -92,6 +103,16 @@ class Parcelport(abc.ABC):
         # One background call stands in for `thread_weight` physical
         # threads' worth of polling (see PlatformSpec docs).
         self.poll_rounds = max(1, round(locality.platform.thread_weight))
+        # End-to-end reliability: only instantiated when the runtime asks
+        # for it (active fault injector or explicit reliable=True) — a
+        # None layer keeps every hot path byte-identical to the seed.
+        self.reliability: Optional[ReliabilityLayer] = None
+        runtime = locality.runtime
+        if self.supports_reliability and getattr(runtime, "reliable", False):
+            self.reliability = ReliabilityLayer(
+                self.sim, runtime.retry_policy,
+                runtime.rng.stream(f"retry{locality.lid}"),
+                stats=self.stats)
 
     # -- upper-layer interface ------------------------------------------------
     def make_connection(self, dest: int) -> Connection:
@@ -123,6 +144,9 @@ class Parcelport(abc.ABC):
     def _finish(self, worker: Worker, conn: Connection):
         """Run the completion continuation of a finished sender chain."""
         self.stats.inc("sends_completed")
+        if self.reliability is not None:
+            # The conn may be recycled now; stop aborting it on retransmit.
+            self.reliability.note_local_done(conn)
         cb = conn.on_complete
         conn.on_complete = None
         if cb is not None:
@@ -134,3 +158,105 @@ class Parcelport(abc.ABC):
         """Hand a fully received HPX message to the runtime."""
         self.stats.inc("messages_delivered")
         self.locality.on_message(msg)
+
+    # -- reliability machinery (active only under fault injection) -----------
+    def _complete_receive(self, worker: Worker, msg: HpxMessage,
+                          seq: Optional[int]):
+        """Generator: deliver a fully-assembled message, reliably.
+
+        With reliability off (or a pre-reliability peer, ``seq is None``)
+        this is exactly :meth:`_deliver`.  Otherwise: suppress duplicate
+        deliveries of retransmitted messages by (src, seq), and always
+        ack — re-acking a duplicate is what unsticks a sender whose
+        previous ack was lost.
+        """
+        rel = self.reliability
+        if rel is None or seq is None:
+            self._deliver(msg)
+            return
+        if rel.is_dup(msg.src, seq):
+            self.stats.inc("dup_deliveries")
+        else:
+            rel.record_delivery(msg.src, seq)
+            self._deliver(msg)
+        yield from self._send_ack(worker, msg.src, seq)
+
+    def _send_ack(self, worker: Worker, dst: int, seq: int):
+        """Generator: transport-specific end-to-end ack send."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement reliability")
+
+    def _abort_send_conn(self, worker: Worker, conn: Connection):
+        """Withdraw an in-flight sender chain before retransmitting.
+
+        Returns None or a generator (subclasses add transport-specific
+        cleanup).  An aborted connection that came from the connection
+        cache is handed back so the cache doesn't bleed capacity — the
+        user callback never runs (the message is retransmitted or
+        reported failed through the reliability path instead).
+        """
+        conn.aborted = True
+        self.stats.inc("send_chains_aborted")
+        had_cb = conn.on_complete is not None
+        conn.on_complete = None
+        pl = self.locality.parcel_layer
+        if had_cb and pl is not None:
+            pl.release_connection(conn)
+        return None
+
+    def _abort_recv_conn(self, worker: Worker, conn: Connection):
+        """Reap an abandoned receiver chain.
+
+        Returns None or a generator (subclasses add transport-specific
+        cleanup: cancelling posted receives, releasing tags).
+        """
+        conn.aborted = True
+        return None
+
+    def _fail_send(self, worker: Worker, entry):
+        """Generator: retries exhausted — report the message as failed."""
+        self.stats.inc("sends_failed")
+        if entry.conn is not None:
+            res = self._abort_send_conn(worker, entry.conn)
+            if res is not None:
+                yield from res
+            entry.conn = None
+        pl = self.locality.parcel_layer
+        if pl is not None:
+            pl.report_send_failure(entry.msg, ParcelSendError(
+                f"message seq={entry.seq} to locality {entry.msg.dest} "
+                f"failed after {entry.attempts} retransmissions"))
+
+    def _reliability_poll(self, worker: Worker):
+        """Generator → bool: one slice of retransmit/reap work.
+
+        Called from background work only when :attr:`reliability` is set.
+        """
+        rel = self.reliability
+        now = self.sim.now
+        did = False
+        yield worker.cpu(rel.policy.poll_cost_us)
+        for entry in rel.take_expired(now):
+            did = True
+            if entry.attempts >= rel.policy.max_retries:
+                rel.drop(entry)
+                yield from self._fail_send(worker, entry)
+                continue
+            entry.attempts += 1
+            self.stats.inc("retransmits")
+            if entry.conn is not None:
+                res = self._abort_send_conn(worker, entry.conn)
+                if res is not None:
+                    yield from res
+                entry.conn = None
+            rel.reschedule(entry)
+            yield worker.cpu(rel.policy.retransmit_cpu_us)
+            conn = self.make_connection(entry.msg.dest)
+            yield from self.send_message(worker, conn, entry.msg, None)
+        for conn in rel.take_expired_recvs(now):
+            did = True
+            self.stats.inc("recv_chains_expired")
+            res = self._abort_recv_conn(worker, conn)
+            if res is not None:
+                yield from res
+        return did

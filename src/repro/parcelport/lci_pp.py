@@ -33,6 +33,7 @@ from ..sim.primitives import SpinLock
 from .base import Connection, DetachedWorker, Parcelport
 from .config import PPConfig
 from .header import plan_header
+from .reliability import ACK_TAG
 from .tagging import TagAllocator
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -56,6 +57,8 @@ SYNC_SCAN_LIMIT = 8
 
 class LciParcelport(Parcelport):
     """HPX's LCI parcelport on the simulated LCI library."""
+
+    supports_reliability = True
 
     def __init__(self, locality: "Locality", config: Optional[PPConfig] = None,
                  lci_params: LciParams = DEFAULT_LCI_PARAMS):
@@ -101,6 +104,9 @@ class LciParcelport(Parcelport):
         if self.protocol == "sr":
             self.sim.process(self._boot_sr(),
                              name=f"L{self.locality.lid}.lci_boot")
+        if self.reliability is not None:
+            self.sim.process(self._boot_ack(),
+                             name=f"L{self.locality.lid}.lci_ack_boot")
         if self.reserves_progress_core:
             self.sim.process(self._progress_loop(),
                              name=f"L{self.locality.lid}.lci_progress")
@@ -108,6 +114,9 @@ class LciParcelport(Parcelport):
     def _boot_sr(self):
         for dev in self.devices:
             yield from self._post_header_recv(self._sys, dev)
+
+    def _boot_ack(self):
+        yield from self._post_ack_recv(self._sys, self.devices[0])
 
     def _post_header_recv(self, worker, dev):
         """``sr`` protocol: keep exactly one header receive posted
@@ -118,6 +127,15 @@ class LciParcelport(Parcelport):
         yield from dev.recvm(worker, HEADER_TAG,
                              self.cost.max_header_size, comp,
                              ctx=("header", dev.vchan))
+
+    def _post_ack_recv(self, worker, dev):
+        """Reliability: keep one end-to-end ack receive posted (device 0)."""
+        comp = self._new_completion()
+        if isinstance(comp, Synchronizer):
+            yield from self._register_sync(worker, comp)
+        yield from dev.recvm(worker, ACK_TAG,
+                             self.reliability.policy.ack_bytes, comp,
+                             ctx=("ack", dev.vchan))
 
     # ------------------------------------------------------------------
     # dedicated progress thread (the ``pin`` / ``rp`` mode)
@@ -175,11 +193,16 @@ class LciParcelport(Parcelport):
         # ends must agree on (the header carries the raw value).
         conn.tag_raw = yield from self.tags.draw(worker, max(1, n))
         device = self._device_for(conn.tag_raw)
+        if self.reliability is not None:
+            # Fresh sends get a seq + in-flight entry; retransmits (seq
+            # already set) just re-attach their entry to this connection.
+            self.reliability.track(msg, conn)
+            conn.seq = msg.seq
         # The header is assembled directly in an LCI-provided buffer —
         # the memcpy the MPI parcelport pays here is saved (§3.2.1).
         yield worker.cpu(cost.alloc_us)
         payload = ("hdr", msg, plan.followups, conn.tag_raw,
-                   plan.piggybacked_bytes)
+                   plan.piggybacked_bytes, msg.seq)
         if self.protocol == "psr":
             while True:
                 ok = yield from device.putva(
@@ -189,6 +212,8 @@ class LciParcelport(Parcelport):
                     break
                 self.stats.inc("pool_retries")
                 yield self.sim.timeout(RETRY_US)
+                if conn.aborted:
+                    return
         else:  # sr: two-sided header
             while True:
                 ok = yield from device.sendm(
@@ -198,6 +223,8 @@ class LciParcelport(Parcelport):
                     break
                 self.stats.inc("pool_retries")
                 yield self.sim.timeout(RETRY_US)
+                if conn.aborted:
+                    return
         self.stats.inc("header_sends")
         # Header is locally complete at injection; continue with chunks.
         if n == 0:
@@ -206,11 +233,14 @@ class LciParcelport(Parcelport):
             yield from self._post_next_send(worker, conn)
 
     def _post_next_send(self, worker, conn: Connection):
+        if conn.aborted:
+            return
         device = self._device_for(conn.tag_raw)
         kind, size = conn.plan[conn.stage]
         tag = self.tags.tag(conn.tag_raw, conn.stage)
         conn.stage += 1
         comp = self._new_completion()
+        conn.cur = comp
         if isinstance(comp, Synchronizer):
             yield from self._register_sync(worker, comp)
         if size <= device.params.eager_threshold:
@@ -222,6 +252,8 @@ class LciParcelport(Parcelport):
                     break
                 self.stats.inc("pool_retries")
                 yield self.sim.timeout(RETRY_US)
+                if conn.aborted:
+                    return
         else:
             yield from device.sendl(worker, conn.dest, size, tag, comp,
                                     ctx=("send", conn),
@@ -232,28 +264,34 @@ class LciParcelport(Parcelport):
     # receive path
     # ------------------------------------------------------------------
     def _handle_header(self, worker, payload):
-        _kind, msg, followups, tag_raw, piggy_bytes = payload
+        _kind, msg, followups, tag_raw, piggy_bytes, seq = payload
         yield worker.cpu(HEADER_DECODE_US)
         if not followups:
             # Deserialization reads straight out of the LCI buffer — no
             # copy-out (unlike the MPI parcelport's header path).
-            self._deliver(msg)
+            yield from self._complete_receive(worker, msg, seq)
             return
         conn = Connection(msg.src, role="recv")
         conn.msg = msg
         conn.plan = list(followups)
         conn.tag_raw = tag_raw
         conn.src = msg.src
+        conn.seq = seq
+        if self.reliability is not None and seq is not None:
+            self.reliability.watch_recv(conn)
         yield worker.cpu(self.cost.alloc_us)
         self.stats.inc("recv_connections")
         yield from self._post_next_recv(worker, conn)
 
     def _post_next_recv(self, worker, conn: Connection):
+        if conn.aborted:
+            return
         device = self._device_for(conn.tag_raw)
         kind, size = conn.plan[conn.stage]
         tag = self.tags.tag(conn.tag_raw, conn.stage)
         conn.stage += 1
         comp = self._new_completion()
+        conn.cur = comp
         if isinstance(comp, Synchronizer):
             yield from self._register_sync(worker, comp)
         if size <= device.params.eager_threshold:
@@ -280,6 +318,11 @@ class LciParcelport(Parcelport):
             # ("send", ("send", conn)) — a chunk send completed
             _w, ctx = entry
             conn = ctx[1]
+            if conn.aborted:
+                # Chain withdrawn by the reliability layer; a late local
+                # completion must not advance (or recycle) it.
+                self.stats.inc("aborted_completions")
+                return
             if conn.finished_chunks:
                 yield from self._finish(worker, conn)
             else:
@@ -295,13 +338,90 @@ class LciParcelport(Parcelport):
                 yield from self._handle_header(worker, payload)
                 self.stats.inc("headers_received")
                 return
+            if isinstance(ctx, tuple) and ctx[0] == "ack":
+                # End-to-end ack arrived: stop tracking, repost.
+                payload = entry[2]
+                self.reliability.on_ack(payload[1])
+                yield from self._post_ack_recv(worker, self.devices[ctx[1]])
+                return
             conn = ctx[1]
+            if conn.aborted:
+                self.stats.inc("aborted_completions")
+                return
             if conn.finished_chunks:
-                self._deliver(conn.msg)
+                if self.reliability is not None:
+                    self.reliability.unwatch_recv(conn)
+                yield from self._complete_receive(worker, conn.msg, conn.seq)
             else:
+                if self.reliability is not None and conn.seq is not None:
+                    self.reliability.touch_recv(conn)
                 yield from self._post_next_recv(worker, conn)
             return
+        if what == "error":
+            # ("error", ctx, reason) — an op completed with error status
+            # (corrupted message matched it).  Recovery is sender-driven:
+            # repost persistent receives, abandon chunk chains and let the
+            # retransmission timer resend the whole message.
+            _w, ctx, _reason = entry
+            self.stats.inc("comp_errors")
+            if isinstance(ctx, tuple) and ctx[0] == "header":
+                yield from self._post_header_recv(worker,
+                                                  self.devices[ctx[1]])
+                return
+            if isinstance(ctx, tuple) and ctx[0] == "ack":
+                yield from self._post_ack_recv(worker, self.devices[ctx[1]])
+                return
+            if isinstance(ctx, tuple) and ctx[0] == "recv":
+                conn = ctx[1]
+                if not conn.aborted:
+                    conn.aborted = True
+                    if self.reliability is not None:
+                        self.reliability.unwatch_recv(conn)
+                return
+            if isinstance(ctx, tuple) and ctx[0] == "send":
+                conn = ctx[1]
+                if self.reliability is not None and conn.msg is not None:
+                    self.reliability.expedite(conn.msg.seq)
+                return
+            return
         raise ValueError(f"unknown completion entry {entry!r}")
+
+    # ------------------------------------------------------------------
+    # reliability hooks (active only under fault injection)
+    # ------------------------------------------------------------------
+    def _send_ack(self, worker, dst: int, seq: int):
+        """End-to-end ack: a small two-sided eager send on device 0."""
+        device = self.devices[0]
+        size = self.reliability.policy.ack_bytes
+        while True:
+            ok = yield from device.sendm(worker, dst, size, ACK_TAG,
+                                         comp=None, payload=("ack", seq))
+            if ok:
+                break
+            self.stats.inc("pool_retries")
+            yield self.sim.timeout(RETRY_US)
+        self.stats.inc("ack_sends")
+
+    def _abort_send_conn(self, worker, conn: Connection):
+        super()._abort_send_conn(worker, conn)
+        # A pending synchronizer for the withdrawn op would otherwise sit
+        # in sync_pending forever (sy mode); mark it for discard.
+        if isinstance(conn.cur, Synchronizer):
+            conn.cur.cancelled = True
+        return None
+
+    def _abort_recv_conn(self, worker, conn: Connection):
+        conn.aborted = True
+        if self.reliability is not None:
+            self.reliability.unwatch_recv(conn)
+        if conn.stage > 0 and conn.cur is not None:
+            # Withdraw the posted receive for the current stage.
+            device = self._device_for(conn.tag_raw)
+            tag = self.tags.tag(conn.tag_raw, conn.stage - 1)
+            device.cancel_recv(tag, conn.cur)
+            if isinstance(conn.cur, Synchronizer):
+                conn.cur.cancelled = True
+        return None
 
     # ------------------------------------------------------------------
     # background work (§3.2.1 "Threads and background work")
@@ -350,6 +470,8 @@ class LciParcelport(Parcelport):
                 did = True
         else:
             did = (yield from self._scan_syncs(worker)) or did
+        if self.reliability is not None:
+            did = (yield from self._reliability_poll(worker)) or did
         return did
 
     def _scan_syncs(self, worker):
@@ -368,6 +490,12 @@ class LciParcelport(Parcelport):
         keep = []
         for _ in range(min(SYNC_SCAN_LIMIT, len(self.sync_pending))):
             sync = self.sync_pending.popleft()
+            if sync.cancelled:
+                # Its op was withdrawn (aborted chain): drop silently —
+                # this is the leak the reliability layer would otherwise
+                # cause in the pending list.
+                self.stats.inc("syncs_cancelled")
+                continue
             yield worker.cpu(self.device.params.sync_test_us)
             if sync.test():
                 ready.append(sync)

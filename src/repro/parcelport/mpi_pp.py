@@ -33,6 +33,7 @@ from ..sim.primitives import SpinLock, TryLock
 from .base import Connection, DetachedWorker, Parcelport
 from .config import PPConfig
 from .header import HEADER_BASE_BYTES, ORIGINAL_MAX_HEADER, plan_header
+from .reliability import ACK_TAG
 from .tagging import TagAllocator, TagProvider
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -53,6 +54,7 @@ class MpiParcelport(Parcelport):
     """HPX's MPI parcelport on the simulated MPI library."""
 
     reserves_progress_core = False  # no dedicated progress thread in MPI pp
+    supports_reliability = True
 
     def __init__(self, locality: "Locality", config: Optional[PPConfig] = None,
                  mpi_params: MpiParams = DEFAULT_MPI_PARAMS,
@@ -72,6 +74,7 @@ class MpiParcelport(Parcelport):
         self._header_guard = TryLock(self.sim, f"L{locality.lid}.hdr_guard")
         self._header_req = None
         self._release_req = None
+        self._ack_req = None
         self._sys = DetachedWorker(locality, name="mpi_boot")
         if self.original:
             self.tag_provider = TagProvider(self.sim, MAX_TAG)
@@ -95,6 +98,10 @@ class MpiParcelport(Parcelport):
         if self.original:
             self._release_req = yield from self.mpi.irecv(
                 self._sys, ANY_SOURCE, 16, RELEASE_TAG)
+        if self.reliability is not None:
+            self._ack_req = yield from self.mpi.irecv(
+                self._sys, ANY_SOURCE, self.reliability.policy.ack_bytes,
+                ACK_TAG)
 
     # ------------------------------------------------------------------
     # send path
@@ -114,6 +121,11 @@ class MpiParcelport(Parcelport):
         else:
             raw = yield from self.tags.draw(worker)
             conn.tag = self.tags.tag(raw)
+        if self.reliability is not None:
+            # Fresh sends get a seq + in-flight entry; retransmits (seq
+            # already set) just re-attach their entry to this connection.
+            self.reliability.track(msg, conn)
+            conn.seq = msg.seq
         # Build the header: the improved variant allocates it dynamically,
         # the original uses a fixed 512 B stack buffer (no alloc, but the
         # full 512 B always go on the wire).
@@ -123,7 +135,7 @@ class MpiParcelport(Parcelport):
             yield worker.cpu(cost.alloc_us)
         yield worker.cpu(cost.memcpy_cost(plan.piggybacked_bytes))
         payload = ("hdr", msg, plan.followups, conn.tag,
-                   plan.piggybacked_bytes)
+                   plan.piggybacked_bytes, msg.seq)
         req = yield from self.mpi.isend(worker, msg.dest, header_size,
                                         HEADER_TAG, payload)
         conn.cur = req
@@ -154,12 +166,14 @@ class MpiParcelport(Parcelport):
     # ------------------------------------------------------------------
     def _handle_header(self, worker, value):
         cost = self.cost
-        _kind, msg, followups, tag, piggy_bytes = value
+        _kind, msg, followups, tag, piggy_bytes, seq = value
         yield worker.cpu(HEADER_DECODE_US)
         yield worker.cpu(cost.memcpy_cost(piggy_bytes))
         if not followups:
-            self._deliver(msg)
+            yield from self._complete_receive(worker, msg, seq)
             if self.original and tag is not None:
+                # Even a duplicate delivery releases its tag: every header
+                # (retransmissions included) consumed one draw.
                 yield from self._send_release(worker, msg.src, tag)
             return
         conn = Connection(msg.src, role="recv")
@@ -167,6 +181,9 @@ class MpiParcelport(Parcelport):
         conn.plan = list(followups)
         conn.tag = tag
         conn.src = msg.src
+        conn.seq = seq
+        if self.reliability is not None and seq is not None:
+            self.reliability.watch_recv(conn)
         yield worker.cpu(cost.alloc_us)  # receiver connection object
         self.stats.inc("recv_connections")
         yield from self._advance_receiver(worker, conn)
@@ -178,10 +195,14 @@ class MpiParcelport(Parcelport):
         pending-list ``MPI_Test`` scans of background work.
         """
         if conn.finished_chunks:
-            self._deliver(conn.msg)
+            if self.reliability is not None:
+                self.reliability.unwatch_recv(conn)
+            yield from self._complete_receive(worker, conn.msg, conn.seq)
             if self.original:
                 yield from self._send_release(worker, conn.src, conn.tag)
             return
+        if self.reliability is not None and conn.seq is not None:
+            self.reliability.touch_recv(conn)
         kind, size = conn.plan[conn.stage]
         conn.stage += 1
         req = yield from self.mpi.irecv(worker, conn.src, size, conn.tag)
@@ -194,6 +215,51 @@ class MpiParcelport(Parcelport):
         yield from self.mpi.isend(worker, dst, 16, RELEASE_TAG,
                                   payload=("tag_release", tag))
         self.stats.inc("tag_releases_sent")
+
+    # ------------------------------------------------------------------
+    # reliability hooks (active only under fault injection)
+    # ------------------------------------------------------------------
+    def _send_ack(self, worker, dst: int, seq: int):
+        """End-to-end ack: a small eager isend (fire-and-forget)."""
+        yield from self.mpi.isend(worker, dst,
+                                  self.reliability.policy.ack_bytes,
+                                  ACK_TAG, payload=("ack", seq))
+        self.stats.inc("ack_sends")
+
+    def _abort_send_conn(self, worker, conn: Connection):
+        super()._abort_send_conn(worker, conn)
+        if conn.cur is not None:
+            # Withdraw the in-flight op so a pending rendezvous handshake
+            # (CTS for a cancelled send) is ignored by the receiver side.
+            self.mpi.cancel(conn.cur)
+            conn.cur = None
+        return None
+
+    def _abort_recv_conn(self, worker, conn: Connection):
+        conn.aborted = True
+        if self.reliability is not None:
+            self.reliability.unwatch_recv(conn)
+        if conn.cur is not None:
+            self.mpi.cancel(conn.cur)
+            conn.cur = None
+        if self.original and conn.tag is not None:
+            # The sender's tag was consumed by this connection attempt.
+            return self._send_release(worker, conn.src, conn.tag)
+        return None
+
+    def _handle_op_error(self, worker, conn: Connection):
+        """A chunk op completed with a transport error (corruption)."""
+        self.stats.inc("op_errors")
+        conn.aborted = True
+        if conn.role == "recv":
+            if self.reliability is not None:
+                self.reliability.unwatch_recv(conn)
+            if self.original:
+                yield from self._send_release(worker, conn.src, conn.tag)
+        else:
+            # Sender chain is dead; no point waiting out the full timeout.
+            if self.reliability is not None and conn.msg is not None:
+                self.reliability.expedite(conn.msg.seq)
 
     # ------------------------------------------------------------------
     # background work (§3.1 "Threads and background work")
@@ -225,12 +291,16 @@ class MpiParcelport(Parcelport):
                 did = (yield from self._check_header(worker)) or did
                 if self.original:
                     did = (yield from self._check_release(worker)) or did
+                if self.reliability is not None:
+                    did = (yield from self._check_ack(worker)) or did
             finally:
                 self._header_guard.release()
         else:
             yield from self.mpi.progress_only(worker)
         # (b) round-robin over the pending connection list
         did = (yield from self._scan_pending(worker)) or did
+        if self.reliability is not None:
+            did = (yield from self._reliability_poll(worker)) or did
         return did
 
     def _check_header(self, worker):
@@ -241,9 +311,14 @@ class MpiParcelport(Parcelport):
         if not done:
             return False
         value = req.value
+        err = req.error
         # Repost before decoding so back-to-back headers keep flowing.
         self._header_req = yield from self.mpi.irecv(
             worker, ANY_SOURCE, self.max_header, HEADER_TAG)
+        if err is not None:
+            # Corrupted header: drop it, sender retransmits.
+            self.stats.inc("header_recv_errors")
+            return True
         yield from self._handle_header(worker, value)
         self.stats.inc("headers_received")
         return True
@@ -255,11 +330,35 @@ class MpiParcelport(Parcelport):
         done = yield from self.mpi.test(worker, req)
         if not done:
             return False
-        _kind, tag = req.value
+        value = req.value
+        err = req.error
         self._release_req = yield from self.mpi.irecv(
             worker, ANY_SOURCE, 16, RELEASE_TAG)
+        if err is not None:
+            self.stats.inc("release_recv_errors")
+            return True
+        _kind, tag = value
         yield from self.tag_provider.release(worker, tag)
         self.stats.inc("tag_releases_received")
+        return True
+
+    def _check_ack(self, worker):
+        req = self._ack_req
+        if req is None:
+            return False
+        done = yield from self.mpi.test(worker, req)
+        if not done:
+            return False
+        value = req.value
+        err = req.error
+        self._ack_req = yield from self.mpi.irecv(
+            worker, ANY_SOURCE, self.reliability.policy.ack_bytes, ACK_TAG)
+        if err is not None:
+            # Corrupted ack: the sender re-acks on the retransmit.
+            self.stats.inc("ack_recv_errors")
+            return True
+        _kind, seq = value
+        self.reliability.on_ack(seq)
         return True
 
     def _scan_pending(self, worker):
@@ -273,11 +372,32 @@ class MpiParcelport(Parcelport):
         did = False
         keep = []
         for conn in batch:
-            done = yield from self.mpi.test(worker, conn.cur)
+            if conn.aborted:
+                # Chain withdrawn by the reliability layer: drop it from
+                # the pending list (its op was cancelled).
+                did = True
+                if conn.cur is not None:
+                    self.mpi.cancel(conn.cur)
+                    conn.cur = None
+                self.stats.inc("aborted_completions")
+                continue
+            req = conn.cur
+            done = yield from self.mpi.test(worker, req)
+            if conn.aborted:
+                # Withdrawn while we were inside MPI_Test (the reliability
+                # poll on another thread): drop it, like the branch above.
+                did = True
+                if conn.cur is not None:
+                    self.mpi.cancel(conn.cur)
+                    conn.cur = None
+                self.stats.inc("aborted_completions")
+                continue
             if done:
                 did = True
                 conn.cur = None
-                if conn.role == "send":
+                if req.error is not None:
+                    yield from self._handle_op_error(worker, conn)
+                elif conn.role == "send":
                     yield from self._advance_sender(worker, conn)
                 else:
                     yield from self._advance_receiver(worker, conn)

@@ -1,8 +1,9 @@
 """Tag management for parcelport connections.
 
 Both parcelports draw tags from a shared atomic counter (§3.1/§3.2) that
-wraps around at the tag upper bound; tag 0 is reserved for header messages
-(and tag 1 for the original MPI variant's tag-release protocol).  Safety
+wraps around at the tag upper bound; tag 0 is reserved for header messages,
+tag 1 for the original MPI variant's tag-release protocol, and tag 2 for
+the reliability layer's end-to-end acks (fault-injection runs).  Safety
 relies on the paper's stated assumption: a connection pair reusing a tag
 value is always complete before the value comes around again.
 
@@ -20,8 +21,9 @@ from ..sim.primitives import AtomicCell, SpinLock
 
 __all__ = ["TagAllocator", "TagProvider", "tag_of", "FIRST_DYNAMIC_TAG"]
 
-#: 0 = header messages, 1 = tag-release messages (original MPI variant).
-FIRST_DYNAMIC_TAG = 2
+#: 0 = header messages, 1 = tag-release messages (original MPI variant),
+#: 2 = end-to-end ack messages (reliability layer under fault injection).
+FIRST_DYNAMIC_TAG = 3
 
 
 def tag_of(raw: int, offset: int, max_tag: int) -> int:
@@ -61,6 +63,8 @@ class TagProvider:
         self.lock = SpinLock(sim, name + ".lock")
         self.list_op_us = list_op_us
         self._free: List[int] = []
+        self._free_set = set()
+        self.duplicate_releases = 0
         self._next = 0
 
     def draw(self, worker):
@@ -69,6 +73,7 @@ class TagProvider:
         yield worker.cpu(self.list_op_us)
         if self._free:
             tag = self._free.pop()
+            self._free_set.discard(tag)
         else:
             tag = tag_of(self._next, 0, self.max_tag)
             self._next += 1
@@ -76,10 +81,21 @@ class TagProvider:
         return tag
 
     def release(self, worker, tag: int):
-        """Generator: return a tag to the free list."""
+        """Generator: return a tag to the free list.
+
+        Duplicate releases are ignored (counted in
+        ``duplicate_releases``): under fault recovery the same tag can be
+        released both locally (aborted send) and by a late tag-release
+        message — pushing it twice would hand one tag to two concurrent
+        connections.
+        """
         yield from worker.lock(self.lock)
         yield worker.cpu(self.list_op_us)
-        self._free.append(tag)
+        if tag in self._free_set:
+            self.duplicate_releases += 1
+        else:
+            self._free.append(tag)
+            self._free_set.add(tag)
         self.lock.release()
 
     @property

@@ -53,6 +53,10 @@ class StatSet:
     def inc(self, key: str, n: int = 1) -> None:
         self.counters[key] += n
 
+    def get(self, key: str, default: int = 0) -> int:
+        """A counter's value without creating it (defaultdict-safe)."""
+        return self.counters.get(key, default)
+
     def add(self, key: str, v: float) -> None:
         self.accum[key] += v
 

@@ -1,0 +1,247 @@
+"""Negative-path tests: cancellation, shutdown mid-traffic, failure
+reporting, and the bookkeeping leaks fault recovery can expose."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro import LAPTOP, make_runtime
+from repro.hpx_rt import Parcel
+from repro.lci_sim import (DEFAULT_LCI_PARAMS, CompletionQueue, LciDevice,
+                           Synchronizer)
+from repro.mpi_sim import DEFAULT_MPI_PARAMS, MpiComm
+from repro.netsim import Fabric, TESTNET
+from repro.parcelport.tagging import TagProvider
+from repro.sim import Simulator
+
+
+class FakeWorker:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def cpu(self, us):
+        return self.sim.timeout(us)
+
+    def lock(self, lk):
+        yield lk.acquire()
+
+
+# ---------------------------------------------------------------------------
+# runtime shutdown with traffic still in flight
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("config", ["lci_psr_cq_pin_i", "mpi", "mpi_orig"])
+def test_shutdown_with_inflight_sends_does_not_crash(config):
+    rt = make_runtime(config, platform=LAPTOP, n_localities=2)
+    got = []
+
+    def sink(worker, idx, blob):
+        got.append(idx)
+        return None
+
+    rt.register_action("sink", sink)
+
+    def sender(worker):
+        for i in range(30):
+            yield from rt.locality(0).apply(worker, 1, "sink", (i, "b"),
+                                            arg_sizes=[8, 20000])
+
+    rt.boot()
+    rt.locality(0).spawn(sender)
+    rt.run_until(50.0)             # stop mid-traffic, chains in flight
+    rt.shutdown()
+    rt.sim.run(max_events=2_000_000)
+    assert rt.running is False
+    # partial delivery is fine; crashing or duplicating is not
+    assert len(set(got)) == len(got)
+
+
+# ---------------------------------------------------------------------------
+# MPI cancellation
+# ---------------------------------------------------------------------------
+def _mpi_pair():
+    sim = Simulator()
+    fabric = Fabric(sim, TESTNET)
+    a = MpiComm(sim, fabric.add_node(0), rank=0, params=DEFAULT_MPI_PARAMS)
+    b = MpiComm(sim, fabric.add_node(1), rank=1, params=DEFAULT_MPI_PARAMS)
+    return sim, FakeWorker(sim), a, b
+
+
+def test_mpi_cancel_posted_recv_removes_from_matching():
+    sim, w, a, b = _mpi_pair()
+    out = {}
+
+    def receiver():
+        out["req"] = yield from b.irecv(w, 0, 64, tag=7)
+
+    sim.process(receiver())
+    sim.run()
+    req = out["req"]
+    assert req in b.posted
+    assert b.cancel(req) is True
+    assert req.cancelled and req.done
+    assert req not in b.posted
+    assert b.stats.counters["cancelled"] == 1
+    # cancelling again is a no-op: the request is already complete
+    assert b.cancel(req) is False
+    assert b.stats.counters["cancelled"] == 1
+
+
+def test_mpi_cancel_completed_request_is_refused():
+    sim, w, a, b = _mpi_pair()
+    out = {}
+
+    def sender():
+        out["req"] = yield from a.isend(w, 1, 8, tag=3, payload="x")
+
+    sim.process(sender())
+    sim.run()
+    req = out["req"]
+    assert req.done                      # eager send completed locally
+    assert a.cancel(req) is False
+    assert not req.cancelled
+
+
+def test_mpi_traffic_still_flows_after_a_cancel():
+    sim, w, a, b = _mpi_pair()
+    out = {}
+
+    def scenario():
+        victim = yield from b.irecv(w, 0, 64, tag=5)
+        b.cancel(victim)
+        live = yield from b.irecv(w, 0, 64, tag=5)
+        out["live"] = live
+        yield from a.isend(w, 1, 64, tag=5, payload="ok")
+        for _ in range(200):
+            done = yield from b.test(w, out["live"])
+            if done:
+                return
+            yield sim.timeout(5.0)
+
+    sim.process(scenario())
+    sim.run()
+    assert out["live"].done and not out["live"].cancelled
+    assert out["live"].value == "ok"
+
+
+# ---------------------------------------------------------------------------
+# LCI receive cancellation
+# ---------------------------------------------------------------------------
+def test_lci_cancel_recv_scoped_and_counted():
+    sim = Simulator()
+    fabric = Fabric(sim, TESTNET)
+    dev = LciDevice(sim, fabric.add_node(0), rank=0,
+                    params=DEFAULT_LCI_PARAMS)
+    w = FakeWorker(sim)
+    c1, c2 = Synchronizer(), Synchronizer()
+
+    def poster():
+        yield from dev.recvm(w, 9, 64, c1)
+        yield from dev.recvm(w, 9, 64, c2)
+
+    sim.process(poster())
+    sim.run()
+    # scoped: only the op completing into c1 goes away
+    assert dev.cancel_recv(9, comp=c1) == 1
+    assert dev.cancel_recv(9, comp=c1) == 0
+    # unscoped: clears the rest of the bucket
+    assert dev.cancel_recv(9) == 1
+    assert dev.cancel_recv(9) == 0
+    assert dev.stats.counters["recvs_cancelled"] == 2
+
+
+# ---------------------------------------------------------------------------
+# regression: TagProvider double release must not alias tags
+# ---------------------------------------------------------------------------
+def test_tag_provider_ignores_duplicate_release():
+    sim = Simulator()
+    prov = TagProvider(sim, max_tag=100)
+    w = FakeWorker(sim)
+    out = {}
+
+    def scenario():
+        tag = yield from prov.draw(w)
+        # fault recovery can release the same tag twice: locally on
+        # abort, then again when the late release message arrives
+        yield from prov.release(w, tag)
+        yield from prov.release(w, tag)
+        t1 = yield from prov.draw(w)
+        t2 = yield from prov.draw(w)
+        out.update(tag=tag, t1=t1, t2=t2)
+
+    sim.process(scenario())
+    sim.run()
+    assert prov.duplicate_releases == 1
+    assert out["t1"] == out["tag"]       # free-listed tag is reused once
+    assert out["t2"] != out["t1"]        # ...but never handed out twice
+
+
+# ---------------------------------------------------------------------------
+# regression: cancelled synchronizers must leave the pending scan
+# ---------------------------------------------------------------------------
+def test_cancelled_synchronizer_dropped_from_sync_scan():
+    rt = make_runtime("lci_sr_sy_mt", platform=LAPTOP, n_localities=2)
+    rt.boot()
+    pp = rt.locality(0).parcelport
+    dead, live = Synchronizer(), Synchronizer()
+    dead.cancelled = True
+    pp.sync_pending.append(dead)
+    pp.sync_pending.append(live)
+    w = FakeWorker(rt.sim)
+
+    def scan():
+        yield from pp._scan_syncs(w)
+
+    rt.sim.process(scan())
+    rt.sim.run(until=rt.sim.now + 50.0)  # bounded: pollers never drain
+    assert dead not in pp.sync_pending   # dropped, not retested forever
+    assert live in pp.sync_pending       # unsignaled ops keep waiting
+    assert pp.stats.counters["syncs_cancelled"] == 1
+
+
+# ---------------------------------------------------------------------------
+# parcel-layer failure reporting
+# ---------------------------------------------------------------------------
+def _failed_msg(n_parcels):
+    parcels = [Parcel("a", dest=1, src=0, args=(i,), arg_sizes=(8,))
+               for i in range(n_parcels)]
+    return SimpleNamespace(num_parcels=n_parcels, parcels=parcels)
+
+
+def test_report_send_failure_invokes_hook_per_parcel():
+    rt = make_runtime("mpi", platform=LAPTOP, n_localities=2)
+    rt.boot()
+    seen = []
+    rt.on_parcel_failure = lambda p, exc: seen.append((p.args[0], exc))
+    pl = rt.locality(0).parcel_layer
+    boom = RuntimeError("retries exhausted")
+    pl.report_send_failure(_failed_msg(3), boom)
+    assert [s[0] for s in seen] == [0, 1, 2]
+    assert all(s[1] is boom for s in seen)
+    assert pl.stats.counters["messages_failed"] == 1
+    assert pl.stats.counters["parcels_failed"] == 3
+
+
+def test_failed_parcel_sample_is_bounded():
+    rt = make_runtime("mpi", platform=LAPTOP, n_localities=2)
+    rt.boot()
+    pl = rt.locality(0).parcel_layer
+    pl.report_send_failure(_failed_msg(200), RuntimeError("x"))
+    pl.report_send_failure(_failed_msg(200), RuntimeError("x"))
+    assert len(pl.failed_parcels) == pl._max_failed_kept
+    assert pl.stats.counters["parcels_failed"] == 400
+
+
+# ---------------------------------------------------------------------------
+# connection-cache capacity restored after an aborted chain
+# ---------------------------------------------------------------------------
+def test_release_connection_restores_cache_capacity():
+    rt = make_runtime("mpi", platform=LAPTOP, n_localities=2)
+    rt.boot()
+    loc = rt.locality(0)
+    pl, pp = loc.parcel_layer, loc.parcelport
+    conn = pp.make_connection(1)
+    pl._conn_count[1] = 1                 # as if minted through the cache
+    pl.release_connection(conn)
+    assert pl._conn_count[1] == 0         # capacity back
+    assert pl.stats.counters["connections_released"] == 1
+    rt.sim.run(until=rt.sim.now + 50.0)   # the spawned drain must not blow up

@@ -203,6 +203,48 @@ def test_every_parcel_delivered_exactly_once(config, payload_sizes):
 
 
 # ---------------------------------------------------------------------------
+# fault injection: same seed + plan => bit-identical schedule
+# ---------------------------------------------------------------------------
+@given(st.sampled_from(["lci_psr_cq_pin_i", "lci_sr_sy_mt", "mpi_i"]),
+       st.integers(min_value=0, max_value=2 ** 16))
+@settings(max_examples=8, deadline=None)
+def test_faulty_runs_are_deterministic(config, seed):
+    """Replaying a lossy run with the same seed reproduces it exactly:
+    same final time, same delivery order, same fault counters."""
+    from repro import FaultPlan, LAPTOP, RetryPolicy, make_runtime
+
+    plan = FaultPlan(drop_prob=0.1, corrupt_prob=0.02)
+    pol = RetryPolicy(timeout_us=300.0, max_retries=3)
+
+    def run_once():
+        rt = make_runtime(config, platform=LAPTOP, n_localities=2,
+                          seed=seed, fault_plan=plan, retry_policy=pol)
+        got, failed = [], []
+        done = rt.new_latch(12)
+        rt.on_parcel_failure = lambda p, exc: (failed.append(p.args[0]),
+                                               done.count_down())
+
+        def sink(worker, idx):
+            got.append(idx)
+            done.count_down()
+            return None
+
+        rt.register_action("sink", sink)
+
+        def sender(worker):
+            for i in range(12):
+                yield from rt.locality(0).apply(worker, 1, "sink", (i,),
+                                                arg_sizes=[64])
+
+        rt.boot()
+        rt.locality(0).spawn(sender)
+        rt.run_until(done, max_events=5_000_000)
+        return rt.sim.now, tuple(got), tuple(failed), rt.fault_summary()
+
+    assert run_once() == run_once()
+
+
+# ---------------------------------------------------------------------------
 # TCP segmentation / collectives properties
 # ---------------------------------------------------------------------------
 @given(st.integers(min_value=1, max_value=500_000),

@@ -21,6 +21,7 @@ Quick start::
 """
 
 from .faults import FaultInjector, FaultPlan, ParcelSendError, RetryPolicy
+from .flow import FlowControlPolicy, ParcelShedError
 from .hpx_rt import (EXPANSE, LAPTOP, ROSTAM, CostModel, HpxRuntime,
                      PlatformSpec, platform_by_name)
 from .parcelport import (ALL_LCI_VARIANTS, PPConfig, TABLE1,
@@ -33,6 +34,7 @@ __all__ = [
     "EXPANSE", "ROSTAM", "LAPTOP", "platform_by_name",
     "PPConfig", "TABLE1", "ALL_LCI_VARIANTS", "make_parcelport_factory",
     "FaultPlan", "RetryPolicy", "FaultInjector", "ParcelSendError",
+    "FlowControlPolicy", "ParcelShedError",
     "make_runtime",
     "__version__",
 ]

@@ -42,6 +42,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="fault-plan DSL for the fault_smoke figure, "
                              "e.g. 'drop=0.05,corrupt=0.01' (see "
                              "docs/FAULTS.md)")
+    parser.add_argument("--overload", metavar="SPEC", default=None,
+                        help="overload scenario DSL for the overload_smoke "
+                             "figure, e.g. 'squeeze=0:3000@0*1,slow=0:4000"
+                             "@1*2' (see docs/FLOW_CONTROL.md)")
     parser.add_argument("--validate", action="store_true",
                         help="run the figure's EXPERIMENTS.md shape checks "
                              "and set a nonzero exit code on failure")
@@ -52,6 +56,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             FaultPlan.parse(args.faults)
         except ValueError as exc:
             parser.error(f"--faults: {exc}")
+
+    if args.overload is not None:
+        try:
+            FaultPlan.parse(args.overload)
+        except ValueError as exc:
+            parser.error(f"--overload: {exc}")
 
     if args.figure == "tables":
         print(table_abbreviations())
@@ -68,6 +78,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             if name != "fault_smoke":
                 parser.error("--faults only applies to fault_smoke")
             kwargs["spec"] = args.faults
+        if args.overload is not None:
+            if name != "overload_smoke":
+                parser.error("--overload only applies to overload_smoke")
+            kwargs["spec"] = args.overload
         result = FIGURES[name](quick=not args.full, repeats=args.repeats,
                                **kwargs)
         print(result.render(plot=not args.no_plot))

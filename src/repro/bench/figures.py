@@ -31,7 +31,8 @@ __all__ = ["FigureResult", "FIGURES",
            "table_abbreviations", "platform_tables",
            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
            "fig7", "fig8", "fig9", "fig10", "fig11",
-           "ablation_mpi_pp", "ablation_aggregation", "fault_smoke"]
+           "ablation_mpi_pp", "ablation_aggregation", "fault_smoke",
+           "overload_smoke", "OVERLOAD_CONFIGS", "OVERLOAD_SPEC"]
 
 #: the 11 configurations of Figs 3/6/7/8/9
 ALL_CONFIGS = (["lci_psr_cq_pin"] + ALL_LCI_VARIANTS + ["mpi", "mpi_i"])
@@ -426,6 +427,68 @@ def fault_smoke(quick: bool = True, repeats: Optional[int] = None,
                               "spec": spec})
 
 
+# ---------------------------------------------------------------------------
+# overload smoke (not a paper figure: exercises repro.flow backpressure)
+# ---------------------------------------------------------------------------
+#: the five Table-1 configuration *families* the overload smoke covers:
+#: LCI one-sided (psr), LCI two-sided (sr), improved MPI (± immediate)
+#: and the original MPI parcelport
+OVERLOAD_CONFIGS = ["lci_psr_cq_pin_i", "lci_sr_sy_mt", "mpi", "mpi_i",
+                    "mpi_orig"]
+
+#: default overload scenario: squeeze the sender's packet pool while the
+#: receiver is slow — both ends of the stack under pressure at once
+OVERLOAD_SPEC = "squeeze=0:3000@0*1,slow=0:4000@1*2"
+
+
+def overload_smoke(quick: bool = True, repeats: Optional[int] = None,
+                   spec: Optional[str] = None) -> FigureResult:
+    """Message rate with flow control, unloaded vs overloaded (x=0 / x=1).
+
+    Runs each of the five configuration families twice under a
+    :class:`~repro.flow.FlowControlPolicy`: once fault-free and once under
+    the overload ``spec`` (default: pool squeeze on the sender plus a slow
+    receiver).  The headline checks: every run completes exactly-once with
+    bounded backlogs, and the overloaded runs report nonzero pool-
+    exhaustion / credit-stall counters (visible in ``meta["counters"]``).
+    """
+    from ..flow import FlowControlPolicy
+
+    repeats = repeats or 1
+    total = 600 if quick else 3000
+    plan = FaultPlan.parse(spec if spec is not None else OVERLOAD_SPEC)
+    flow = FlowControlPolicy(credit_window=4, max_backlog=64,
+                             max_queued_parcels=256,
+                             rendezvous_fallback_after=2)
+    series = []
+    counters: Dict[str, Dict[str, float]] = {}
+    for cfg in OVERLOAD_CONFIGS:
+        s = Series(label=cfg)
+        for x, active_plan in ((0.0, None), (1.0, plan)):
+            params = MessageRateParams(msg_size=8, batch=50,
+                                       total_msgs=total,
+                                       inject_rate_kps=None,
+                                       platform=EXPANSE)
+            res = repeat(lambda seed, active_plan=active_plan:
+                         run_message_rate(cfg, params, seed,
+                                          fault_plan=active_plan,
+                                          flow_policy=flow).as_dict(),
+                         n=repeats)
+            s.add(x, res["message_rate_kps"])
+            if active_plan is not None:
+                counters[f"{cfg}@{plan.describe()}"] = {
+                    k: m.mean for k, m in res.items()
+                    if k.startswith("fault.") or k == "failed_msgs"}
+        series.append(s)
+    return FigureResult("overload_smoke",
+                        "Message rate with flow control under overload (8B)",
+                        series, x_name="overload", y_name="rate K/s",
+                        meta={"total": total, "counters": counters,
+                              "spec": plan.describe(),
+                              "flow": {"credit_window": flow.credit_window,
+                                       "max_backlog": flow.max_backlog}})
+
+
 #: registry for the CLI
 FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig1": fig1, "fig2": fig2, "fig3": fig3, "fig4": fig4, "fig5": fig5,
@@ -434,4 +497,5 @@ FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "ablation_mpi_pp": ablation_mpi_pp,
     "ablation_aggregation": ablation_aggregation,
     "fault_smoke": fault_smoke,
+    "overload_smoke": overload_smoke,
 }

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
 from ..faults import FaultPlan, RetryPolicy
+from ..flow import FlowControlPolicy
 from ..hpx_rt.platform import EXPANSE, PlatformSpec
 from ..parcelport import PPConfig
 from .. import make_runtime
@@ -58,23 +59,28 @@ class LatencyResult:
 def run_latency(config: "PPConfig | str", params: LatencyParams,
                 seed: int = 0xC0FFEE,
                 fault_plan: Optional[FaultPlan] = None,
-                retry_policy: Optional[RetryPolicy] = None) -> LatencyResult:
+                retry_policy: Optional[RetryPolicy] = None,
+                flow_policy: Optional[FlowControlPolicy] = None
+                ) -> LatencyResult:
     """One latency run: ``window`` chains × ``steps`` round trips.
 
     With a ``fault_plan``, a chain whose ping or pong exhausts its retries
-    is counted as failed and released — the run still terminates.
+    is counted as failed and released — the run still terminates.  A
+    ``flow_policy`` adds credit/backlog throttling (a shed ping or pong
+    likewise kills its chain).
     """
     if isinstance(config, str):
         config = PPConfig.parse(config)
     p = params
     rt = make_runtime(config, platform=p.platform, n_localities=2, seed=seed,
-                      fault_plan=fault_plan, retry_policy=retry_policy)
+                      fault_plan=fault_plan, retry_policy=retry_policy,
+                      flow_policy=flow_policy)
     sim = rt.sim
     done = rt.new_latch(p.window)
     size = p.msg_size
     state = {"failed_chains": 0}
 
-    if fault_plan is not None:
+    if fault_plan is not None or flow_policy is not None:
         def on_fail(parcel, exc):
             # Exactly one ping or pong is in flight per chain, so a failed
             # parcel kills exactly one chain: release its latch slot.
@@ -112,5 +118,6 @@ def run_latency(config: "PPConfig | str", params: LatencyParams,
     return LatencyResult(config=config.label, params=p,
                          total_time_us=sim.now,
                          failed_chains=state["failed_chains"],
-                         faults=rt.fault_summary() if fault_plan is not None
+                         faults=rt.fault_summary()
+                         if (fault_plan is not None or flow_policy is not None)
                          else {})

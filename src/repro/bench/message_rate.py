@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from ..faults import FaultPlan, RetryPolicy
+from ..flow import FlowControlPolicy
 from ..hpx_rt.platform import EXPANSE, PlatformSpec
 from ..parcelport import PPConfig, make_parcelport_factory
 from .. import make_runtime
@@ -82,13 +83,16 @@ class MessageRateResult:
 def run_message_rate(config: "PPConfig | str", params: MessageRateParams,
                      seed: int = 0xC0FFEE,
                      fault_plan: Optional[FaultPlan] = None,
-                     retry_policy: Optional[RetryPolicy] = None
+                     retry_policy: Optional[RetryPolicy] = None,
+                     flow_policy: Optional[FlowControlPolicy] = None
                      ) -> MessageRateResult:
     """One full message-rate run for one configuration.
 
     With a ``fault_plan``, messages may be dropped/corrupted and the
     parcelport retransmits them; messages that exhaust their retries are
     counted as failed and the benchmark still terminates (no hang).
+    With a ``flow_policy``, senders are throttled (or shed) instead of
+    growing unbounded queues when the receiver falls behind.
     """
     if isinstance(config, str):
         config = PPConfig.parse(config)
@@ -97,7 +101,8 @@ def run_message_rate(config: "PPConfig | str", params: MessageRateParams,
     if rem:
         raise ValueError("total_msgs must be a multiple of batch")
     rt = make_runtime(config, platform=p.platform, n_localities=2, seed=seed,
-                      fault_plan=fault_plan, retry_policy=retry_policy)
+                      fault_plan=fault_plan, retry_policy=retry_policy,
+                      flow_policy=flow_policy)
     sim = rt.sim
 
     state = {"received": 0, "failed": 0, "tasks_done": 0,
@@ -122,7 +127,7 @@ def run_message_rate(config: "PPConfig | str", params: MessageRateParams,
     rt.register_action("sink", sink)
     rt.register_action("ack", ack)
 
-    if fault_plan is not None:
+    if fault_plan is not None or flow_policy is not None:
         def on_fail(parcel, exc):
             if parcel.action == "sink":
                 state["failed"] += 1
@@ -170,4 +175,5 @@ def run_message_rate(config: "PPConfig | str", params: MessageRateParams,
         inject_time_us=state["t_inject"], comm_time_us=state["t_comm"],
         total_msgs=p.total_msgs,
         failed_msgs=state["failed"],
-        faults=rt.fault_summary() if fault_plan is not None else {})
+        faults=rt.fault_summary()
+        if (fault_plan is not None or flow_policy is not None) else {})

@@ -39,14 +39,20 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "TransportError", "ParcelSendError",
-    "LinkFlap", "NicStall", "FaultPlan", "FaultInjector", "RetryPolicy",
-    "DELIVER", "DROP", "CORRUPT",
+    "LinkFlap", "NicStall", "SlowReceiver", "PoolSqueeze", "CreditStarve",
+    "FaultPlan", "FaultInjector", "RetryPolicy",
+    "DELIVER", "DROP", "CORRUPT", "ACK_TAG",
 ]
 
 #: verdicts returned by :meth:`FaultInjector.on_transmit`
 DELIVER = "deliver"
 DROP = "drop"
 CORRUPT = "corrupt"
+
+#: wire tag of end-to-end ack messages (both parcelports; defined here —
+#: not in the parcelport layer — so the injector's credit-starvation mode
+#: can recognize acks without an upward import)
+ACK_TAG = 2
 
 
 class TransportError(Exception):
@@ -109,6 +115,82 @@ class NicStall:
 
 
 @dataclass(frozen=True)
+class SlowReceiver:
+    """A window during which one node's RX deliveries are each delayed.
+
+    Unlike :class:`NicStall` (which parks everything until the window
+    ends), a slow receiver keeps consuming — just ``delay_us`` late per
+    message, modelling a receiver that cannot keep up with the offered
+    load.  Each message is delayed at most once (no compounding).
+    """
+
+    node: int
+    start_us: float
+    end_us: float
+    delay_us: float
+
+    def __post_init__(self) -> None:
+        if self.end_us <= self.start_us:
+            raise ValueError(f"empty slow window [{self.start_us}, "
+                             f"{self.end_us})")
+        if self.delay_us <= 0.0:
+            raise ValueError("slow-receiver delay must be positive")
+
+    def covers(self, node: int, t: float) -> bool:
+        return node == self.node and self.start_us <= t < self.end_us
+
+
+@dataclass(frozen=True)
+class PoolSqueeze:
+    """A window during which one node's packet pools shrink to ``cap``.
+
+    Models registered-memory pressure: :class:`~repro.lci_sim.packet_pool.
+    PacketPool.try_acquire` fails (retry status) whenever ``in_use``
+    would exceed the squeezed capacity — exactly the exhaustion signal
+    the paper's eager protocol exposes to the layers above.
+    """
+
+    node: int
+    start_us: float
+    end_us: float
+    cap: int
+
+    def __post_init__(self) -> None:
+        if self.end_us <= self.start_us:
+            raise ValueError(f"empty squeeze window [{self.start_us}, "
+                             f"{self.end_us})")
+        if self.cap < 0:
+            raise ValueError("squeeze cap must be >= 0")
+
+    def covers(self, node: int, t: float) -> bool:
+        return node == self.node and self.start_us <= t < self.end_us
+
+
+@dataclass(frozen=True)
+class CreditStarve:
+    """A window during which acks destined to ``node`` are held back.
+
+    Every wire message with the end-to-end ack tag headed to ``node``
+    sits in the (modelled) hardware queue until the window ends, so the
+    sender's credit window drains and stays empty — the targeted test
+    mode for credit-starvation behavior.  Acks are delayed, never lost:
+    exactly-once delivery must survive.
+    """
+
+    node: int
+    start_us: float
+    end_us: float
+
+    def __post_init__(self) -> None:
+        if self.end_us <= self.start_us:
+            raise ValueError(f"empty starve window [{self.start_us}, "
+                             f"{self.end_us})")
+
+    def covers(self, node: int, t: float) -> bool:
+        return node == self.node and self.start_us <= t < self.end_us
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything that is allowed to go wrong, and to whom.
 
@@ -122,6 +204,9 @@ class FaultPlan:
     corrupt_prob: float = 0.0
     flaps: Tuple[LinkFlap, ...] = ()
     stalls: Tuple[NicStall, ...] = ()
+    slows: Tuple[SlowReceiver, ...] = ()
+    squeezes: Tuple[PoolSqueeze, ...] = ()
+    starves: Tuple[CreditStarve, ...] = ()
     targets: Optional[Tuple[Tuple[Optional[int], Optional[int]], ...]] = None
 
     def __post_init__(self) -> None:
@@ -137,7 +222,9 @@ class FaultPlan:
     def is_zero(self) -> bool:
         """True if this plan perturbs nothing (a strict no-op)."""
         return (self.drop_prob == 0.0 and self.corrupt_prob == 0.0
-                and not self.flaps and not self.stalls)
+                and not self.flaps and not self.stalls
+                and not self.slows and not self.squeezes
+                and not self.starves)
 
     # -- DSL -----------------------------------------------------------------
     @classmethod
@@ -151,6 +238,9 @@ class FaultPlan:
             flap=100:200               # all links down for t in [100, 200)
             flap=100:200@0>1           # only the 0 -> 1 link
             stall=50:80@1              # node 1's NIC defers RX in [50, 80)
+            slow=50:80@1*2.5           # node 1 delivers 2.5 us late in window
+            squeeze=0:500@0*8          # node 0's packet pools capped at 8
+            starve=0:500@0             # acks to node 0 held until 500
             target=0>1                 # random faults only on 0 -> 1
             target=0>*                 # ... or on everything 0 sends
 
@@ -160,6 +250,9 @@ class FaultPlan:
         corrupt = 0.0
         flaps = []
         stalls = []
+        slows = []
+        squeezes = []
+        starves = []
         targets = []
         for token in spec.split(","):
             token = token.strip()
@@ -188,12 +281,37 @@ class FaultPlan:
                         f"stall needs a node: {token!r} (stall=T0:T1@N)")
                 t0, t1 = _parse_window(window, token)
                 stalls.append(NicStall(int(node), t0, t1))
+            elif key == "slow":
+                window, sep, rest = val.partition("@")
+                node_s, sep2, delay = rest.partition("*")
+                if not sep or not sep2:
+                    raise ValueError(f"slow needs a node and delay: "
+                                     f"{token!r} (slow=T0:T1@N*D)")
+                t0, t1 = _parse_window(window, token)
+                slows.append(SlowReceiver(int(node_s), t0, t1, float(delay)))
+            elif key == "squeeze":
+                window, sep, rest = val.partition("@")
+                node_s, sep2, cap = rest.partition("*")
+                if not sep or not sep2:
+                    raise ValueError(f"squeeze needs a node and cap: "
+                                     f"{token!r} (squeeze=T0:T1@N*CAP)")
+                t0, t1 = _parse_window(window, token)
+                squeezes.append(PoolSqueeze(int(node_s), t0, t1, int(cap)))
+            elif key == "starve":
+                window, sep, node = val.partition("@")
+                if not sep:
+                    raise ValueError(
+                        f"starve needs a node: {token!r} (starve=T0:T1@N)")
+                t0, t1 = _parse_window(window, token)
+                starves.append(CreditStarve(int(node), t0, t1))
             elif key == "target":
                 targets.append(_parse_link(val, token))
             else:
                 raise ValueError(f"unknown fault key {key!r} in {token!r}")
         return cls(drop_prob=drop, corrupt_prob=corrupt,
                    flaps=tuple(flaps), stalls=tuple(stalls),
+                   slows=tuple(slows), squeezes=tuple(squeezes),
+                   starves=tuple(starves),
                    targets=tuple(targets) if targets else None)
 
     def describe(self) -> str:
@@ -209,6 +327,14 @@ class FaultPlan:
             parts.append(f"flap={f.start_us:g}:{f.end_us:g}{link}")
         for s in self.stalls:
             parts.append(f"stall={s.start_us:g}:{s.end_us:g}@{s.node}")
+        for s in self.slows:
+            parts.append(f"slow={s.start_us:g}:{s.end_us:g}@{s.node}"
+                         f"*{s.delay_us:g}")
+        for s in self.squeezes:
+            parts.append(f"squeeze={s.start_us:g}:{s.end_us:g}@{s.node}"
+                         f"*{s.cap}")
+        for s in self.starves:
+            parts.append(f"starve={s.start_us:g}:{s.end_us:g}@{s.node}")
         if self.targets:
             parts.extend(f"target={_show(s)}>{_show(d)}"
                          for s, d in self.targets)
@@ -259,6 +385,11 @@ class RetryPolicy:
     #: CPU charged per reliability poll / per retransmit initiation
     poll_cost_us: float = 0.02
     retransmit_cpu_us: float = 0.2
+    #: max expired senders/receivers drained per reliability poll slice
+    #: (bounds the work one background call can absorb under an expiry
+    #: burst; larger values clear bursts faster at the cost of latency
+    #: spikes in the polling thread)
+    drain_limit: int = 8
 
     def __post_init__(self) -> None:
         if self.timeout_us <= 0.0:
@@ -269,6 +400,8 @@ class RetryPolicy:
             raise ValueError("backoff must be >= 1")
         if self.jitter < 0.0:
             raise ValueError("jitter must be >= 0")
+        if self.drain_limit < 1:
+            raise ValueError("drain_limit must be >= 1")
 
     @property
     def recv_expiry_us(self) -> float:
@@ -303,6 +436,44 @@ class FaultInjector:
             if s.covers(node, t) and s.end_us > end:
                 end = s.end_us
         return end
+
+    def deferred_until(self, msg: "NetMsg", node: int, t: float,
+                       redelivery: bool = False) -> float:
+        """When a message landing at ``node`` at ``t`` may actually be
+        delivered; ``t`` means "now" (no hold).
+
+        Combines every RX-side hold: NIC stalls (everything parked to
+        window end), slow-receiver windows (each message ``delay_us``
+        late — skipped on ``redelivery`` so holds never compound), and
+        credit starvation (ack-tagged messages parked to window end).
+        Counters are bumped per category the first time each applies.
+        """
+        until = t
+        stall_end = self.stalled_until(node, t)
+        if stall_end > t:
+            self.stats.inc("stall_deferrals")
+            until = stall_end
+        if not redelivery:
+            for s in self.plan.slows:
+                if s.covers(node, t):
+                    self.stats.inc("slow_deferrals")
+                    until = max(until, t + s.delay_us)
+                    break
+        if msg.tag == ACK_TAG and self.plan.starves:
+            for s in self.plan.starves:
+                if s.covers(node, t) and s.end_us > until:
+                    self.stats.inc("ack_holds")
+                    until = s.end_us
+        return until
+
+    def pool_cap(self, node: int, t: float) -> Optional[int]:
+        """Squeezed packet-pool capacity for ``node`` at ``t`` (None = no
+        squeeze active)."""
+        cap: Optional[int] = None
+        for s in self.plan.squeezes:
+            if s.covers(node, t) and (cap is None or s.cap < cap):
+                cap = s.cap
+        return cap
 
     # -- per-message verdict -------------------------------------------------
     def _targeted(self, msg: "NetMsg") -> bool:

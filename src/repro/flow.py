@@ -1,0 +1,114 @@
+"""End-to-end flow control and overload protection for the simulated stack.
+
+The paper's central LCI design point is *explicit control of communication
+resources* (§2.1): eager sends draw from a bounded registered packet pool
+and fail with a retry status on exhaustion — the user decides when to
+retry.  This module supplies the policy knobs the layers above use to
+react sensibly instead of retrying blindly with unbounded queues:
+
+* **credit-based receiver flow control** — per-peer credit windows kept
+  by :class:`~repro.parcelport.reliability.ReliabilityLayer` and
+  replenished by the end-to-end acks of the PR-1 reliability protocol,
+  so a slow receiver throttles its senders instead of accumulating
+  unbounded in-flight state;
+* **bounded sender backlogs** — parcelports queue at most
+  ``max_backlog`` deferred messages per destination and report
+  ``would_block`` upward when full;
+* **backpressure in the parcel layer** — ``put_parcel`` either *defers*
+  (the producing task is throttled, driving background progress until
+  capacity returns) or *sheds* (the parcel is dropped, counted, sampled,
+  and reported through ``on_parcel_failure``), per the configured
+  overflow policy;
+* **adaptive pool-exhaustion reaction** — exponential-backoff retry of
+  eager sends and automatic eager→rendezvous fallback when the packet
+  pool stays dry (the rendezvous path needs no pool packet).
+
+A ``None`` policy (the default everywhere) adds zero simulated cost and
+zero behavioral change: flow-control-free runs are byte-identical to a
+build without this module, mirroring the :mod:`repro.faults` contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FlowControlPolicy", "ParcelShedError",
+           "SEND_OK", "SEND_QUEUED", "SEND_WOULD_BLOCK",
+           "OVERFLOW_DEFER", "OVERFLOW_SHED"]
+
+#: statuses returned by :meth:`~repro.parcelport.base.Parcelport.submit_message`
+SEND_OK = "sent"                 #: chain initiated immediately
+SEND_QUEUED = "queued"           #: parked in the sender backlog
+SEND_WOULD_BLOCK = "would_block"  #: backlog full — caller must defer/shed
+
+#: overflow policies for a full backlog / parcel queue
+OVERFLOW_DEFER = "defer"
+OVERFLOW_SHED = "shed"
+
+
+class ParcelShedError(Exception):
+    """A parcel was shed by the overload-protection layer (never sent)."""
+
+
+@dataclass(frozen=True)
+class FlowControlPolicy:
+    """Every knob of the end-to-end backpressure machinery.
+
+    All limits of 0 mean "unbounded" (that aspect disabled).  The credit
+    window is only enforced when the reliability layer is active (the
+    acks it rides on do not exist otherwise); the backlog, queue bound
+    and pool-backoff knobs work with or without reliability.
+    """
+
+    #: max unacked HPX messages per destination (0 = unlimited); consumed
+    #: at submit, replenished when the end-to-end ack arrives
+    credit_window: int = 64
+    #: max messages parked per destination in the parcelport backlog
+    #: waiting for credit (0 = unbounded)
+    max_backlog: int = 128
+    #: max parcels queued per destination in the parcel layer before
+    #: ``put_parcel`` defers or sheds (0 = unbounded)
+    max_queued_parcels: int = 1024
+    #: what to do when a bound is hit: "defer" throttles the producer
+    #: until capacity returns; "shed" drops the parcel (counted,
+    #: sampled, reported through ``on_parcel_failure``)
+    overflow: str = OVERFLOW_DEFER
+    #: how many shed parcels to keep for diagnostics
+    shed_sample: int = 64
+    #: first retry wait after a packet-pool exhaustion (µs)
+    pool_retry_base_us: float = 1.0
+    #: multiplicative backoff per consecutive exhaustion
+    pool_retry_backoff: float = 2.0
+    #: backoff ceiling (µs)
+    pool_retry_max_us: float = 64.0
+    #: eager chunk sends fall back to the rendezvous path (which needs no
+    #: pool packet) after this many consecutive pool failures; must be
+    #: >= 1 so the fallback can never fire on an un-squeezed pool
+    rendezvous_fallback_after: int = 4
+
+    def __post_init__(self) -> None:
+        if self.credit_window < 0:
+            raise ValueError("credit_window must be >= 0")
+        if self.max_backlog < 0:
+            raise ValueError("max_backlog must be >= 0")
+        if self.max_queued_parcels < 0:
+            raise ValueError("max_queued_parcels must be >= 0")
+        if self.overflow not in (OVERFLOW_DEFER, OVERFLOW_SHED):
+            raise ValueError(
+                f"overflow must be 'defer' or 'shed', not {self.overflow!r}")
+        if self.shed_sample < 0:
+            raise ValueError("shed_sample must be >= 0")
+        if self.pool_retry_base_us <= 0.0:
+            raise ValueError("pool_retry_base_us must be positive")
+        if self.pool_retry_backoff < 1.0:
+            raise ValueError("pool_retry_backoff must be >= 1")
+        if self.pool_retry_max_us < self.pool_retry_base_us:
+            raise ValueError("pool_retry_max_us must be >= pool_retry_base_us")
+        if self.rendezvous_fallback_after < 1:
+            raise ValueError("rendezvous_fallback_after must be >= 1")
+
+    def pool_wait_us(self, attempt: int) -> float:
+        """Backoff wait after the ``attempt``-th consecutive exhaustion."""
+        return min(self.pool_retry_base_us
+                   * self.pool_retry_backoff ** attempt,
+                   self.pool_retry_max_us)

@@ -80,6 +80,10 @@ class HpxMessage:
     #: reliability layer on first transmission (None when reliability is
     #: off); retransmissions reuse it so the receiver can dedup replays
     seq: Optional[int] = None
+    #: True while this message holds one flow-control credit (set by the
+    #: parcelport submit path, transferred to the in-flight entry and
+    #: released exactly once — on ack or terminal failure)
+    credited: bool = False
 
     @property
     def has_zero_copy(self) -> bool:

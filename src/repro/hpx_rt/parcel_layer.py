@@ -19,6 +19,8 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from typing import Deque, Dict, List, Optional, TYPE_CHECKING
 
+from ..flow import (OVERFLOW_SHED, SEND_WOULD_BLOCK, FlowControlPolicy,
+                    ParcelShedError)
 from ..sim.primitives import SpinLock
 from ..sim.stats import StatSet
 from .parcel import Parcel
@@ -51,6 +53,11 @@ class ParcelLayer:
         #: bounded sample of parcels whose message failed under faults
         self.failed_parcels: List[Parcel] = []
         self._max_failed_kept = 256
+        #: end-to-end flow control (None => PR-1 behavior, zero overhead)
+        self.flow: Optional[FlowControlPolicy] = getattr(
+            locality.runtime, "flow_policy", None)
+        #: bounded sample of parcels dropped by the ``shed`` overflow policy
+        self.shed_parcels: List[Parcel] = []
 
     def _qlock(self, dest: int) -> SpinLock:
         lk = self._queue_locks.get(dest)
@@ -73,10 +80,22 @@ class ParcelLayer:
         pp = self.locality.parcelport
         msg = serialize_parcels([parcel], self.cost)
         yield worker.cpu(serialize_cost(msg, self.cost))
-        self.stats.inc("messages_sent")
-        self.stats.inc("parcels_sent")
         conn = pp.make_connection(parcel.dest)
-        yield from pp.send_message(worker, conn, msg, self._immediate_done)
+        while True:
+            status = yield from pp.submit_message(
+                worker, conn, msg, self._immediate_done)
+            if status != SEND_WOULD_BLOCK:
+                self.stats.inc("messages_sent")
+                self.stats.inc("parcels_sent")
+                return
+            if self.flow is not None and self.flow.overflow == OVERFLOW_SHED:
+                self._shed(parcel)
+                return
+            # Backpressure: this task is throttled, but it keeps *driving*
+            # the stack (delivering acks frees credits, pumping the backlog)
+            # so progress never depends on some other worker being idle.
+            self.stats.inc("puts_deferred")
+            yield from pp.background_work(worker, rounds=1)
 
     def _immediate_done(self, worker: "Worker", conn) -> None:
         # Transient connection: nothing to recycle.
@@ -86,6 +105,20 @@ class ParcelLayer:
     # -- default (queue + cache) path ---------------------------------------
     def _put_default(self, worker: "Worker", parcel: Parcel):
         dest = parcel.dest
+        fl = self.flow
+        if fl is not None and fl.max_queued_parcels:
+            while len(self._queues[dest]) >= fl.max_queued_parcels:
+                if fl.overflow == OVERFLOW_SHED:
+                    self._shed(parcel)
+                    return
+                # Queue full: throttle the producer, but keep draining —
+                # both the network (acks/credits) and our own queue, so
+                # progress holds even with every worker stuck in a put.
+                self.stats.inc("puts_deferred")
+                yield from self.locality.parcelport.background_work(
+                    worker, rounds=1)
+                if len(self._queues[dest]) >= fl.max_queued_parcels:
+                    yield from self._pump(worker, dest)
         qlock = self._qlock(dest)
         yield from worker.lock(qlock)
         yield worker.cpu(self.cost.queue_op_us)
@@ -122,6 +155,14 @@ class ParcelLayer:
     def _drain_into(self, worker: "Worker", dest: int, conn):
         """Drain the queue into ``conn``; recycle ``conn`` if queue empty."""
         pp = self.locality.parcelport
+        fl = self.flow
+        if (fl is not None and fl.overflow != OVERFLOW_SHED
+                and not pp.can_accept(dest)):
+            # Known-full backlog: don't waste serialization work — park the
+            # drain until the parcelport has room again (shed policy instead
+            # proceeds and sheds whatever the submit refuses).
+            yield from self._defer_drain(worker, dest, conn)
+            return
         qlock = self._qlock(dest)
         yield from worker.lock(qlock)
         q = self._queues[dest]
@@ -134,12 +175,52 @@ class ParcelLayer:
             return
         msg = serialize_parcels(parcels, self.cost)
         yield worker.cpu(serialize_cost(msg, self.cost))
-        self.stats.inc("messages_sent")
-        self.stats.inc("parcels_sent", len(parcels))
-        if len(parcels) > 1:
-            self.stats.inc("aggregated_messages")
-            self.stats.inc("aggregated_parcels", len(parcels))
-        yield from pp.send_message(worker, conn, msg, self._on_send_complete)
+        status = yield from pp.submit_message(
+            worker, conn, msg, self._on_send_complete)
+        if status != SEND_WOULD_BLOCK:
+            self.stats.inc("messages_sent")
+            self.stats.inc("parcels_sent", len(parcels))
+            if len(parcels) > 1:
+                self.stats.inc("aggregated_messages")
+                self.stats.inc("aggregated_parcels", len(parcels))
+            return
+        if fl is not None and fl.overflow == OVERFLOW_SHED:
+            for parcel in parcels:
+                self._shed(parcel)
+            yield from self._recycle(worker, conn)
+            return
+        # Defer: push the batch back (preserving order) and retry once the
+        # parcelport signals room.
+        yield from worker.lock(qlock)
+        self._queues[dest].extendleft(reversed(parcels))
+        self.stats.inc("parcels_requeued", len(parcels))
+        qlock.release()
+        yield from self._defer_drain(worker, dest, conn)
+
+    def _defer_drain(self, worker: "Worker", dest: int, conn):
+        """Park a drain until the parcelport backlog for ``dest`` has room."""
+        self.stats.inc("drains_deferred")
+        pp = self.locality.parcelport
+        yield from self._recycle(worker, conn)
+
+        def wake(dest=dest):
+            def drain(w, dest=dest):
+                yield from self._pump(w, dest)
+
+            self.locality.spawn(drain, name="pp_drain")
+
+        pp.notify_when_accepting(dest, wake)
+
+    def _shed(self, parcel: Parcel) -> None:
+        """Overload-shed one parcel (bounded sample + app-visible failure)."""
+        fl = self.flow
+        self.stats.inc("parcels_shed")
+        if fl is not None and len(self.shed_parcels) < fl.shed_sample:
+            self.shed_parcels.append(parcel)
+        hook = getattr(self.locality.runtime, "on_parcel_failure", None)
+        if hook is not None:
+            hook(parcel, ParcelShedError(
+                f"parcel to L{parcel.dest} shed under overload"))
 
     def _on_send_complete(self, worker: "Worker", conn) -> None:
         """Callback when a send finishes: requeue the drain as a task.

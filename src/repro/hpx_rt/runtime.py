@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..faults import FaultInjector, FaultPlan, RetryPolicy
+from ..flow import FlowControlPolicy
 from ..netsim.fabric import Fabric
 from ..sim.core import Event, Simulator
 from ..sim.rng import RngPool
@@ -117,7 +118,8 @@ class HpxRuntime:
                  fabric_factory: Optional[Callable] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 reliable: Optional[bool] = None):
+                 reliable: Optional[bool] = None,
+                 flow_policy: Optional[FlowControlPolicy] = None):
         if n_localities < 1:
             raise ValueError("need at least one locality")
         if n_localities > platform.max_nodes:
@@ -151,8 +153,12 @@ class HpxRuntime:
         #: want the ack protocol without losses (or vice versa)
         self.reliable = (reliable if reliable is not None
                          else self.fault_injector is not None)
+        #: end-to-end flow control (credits + bounded backlogs); None keeps
+        #: every flow check compiled out of the data path
+        self.flow_policy = flow_policy
         #: hook(parcel, exc) invoked for every parcel of a message that
-        #: exhausted its retries — applications fail futures here
+        #: exhausted its retries (or was shed under overload) — applications
+        #: fail futures here
         self.on_parcel_failure: Optional[Callable] = None
         self.actions: Dict[str, Callable] = {}
         self.running = True
@@ -249,16 +255,64 @@ class HpxRuntime:
         keys = ("retransmits", "sends_failed", "dup_deliveries",
                 "acks_received", "acks_stale", "send_chains_aborted",
                 "recv_chains_expired", "tracked_sends")
+        flow_keys = ("credit_stalls", "credits_consumed",
+                     "credits_replenished", "backlogged_sends",
+                     "backlog_refusals", "backlog_drains", "pool_retries",
+                     "pool_backoffs", "eager_fallbacks")
+        layer_keys = ("messages_failed", "parcels_failed", "parcels_shed",
+                      "puts_deferred", "drains_deferred", "parcels_requeued")
         for loc in self.localities:
             pp = loc.parcelport
-            if pp is not None and getattr(pp, "reliability", None) is not None:
-                for k in keys:
+            if pp is not None:
+                if getattr(pp, "reliability", None) is not None:
+                    for k in keys:
+                        v = pp.stats.counters.get(k, 0)
+                        if v:
+                            out[k] = out.get(k, 0) + v
+                for k in flow_keys:
                     v = pp.stats.counters.get(k, 0)
                     if v:
                         out[k] = out.get(k, 0) + v
+                for dev in getattr(pp, "devices", []):
+                    for src, k in (("exhaustions", "pool_exhaustions"),
+                                   ("squeezed", "pool_squeezed")):
+                        v = dev.pool.stats.counters.get(src, 0)
+                        if v:
+                            out[k] = out.get(k, 0) + v
             if loc.parcel_layer is not None:
-                for k in ("messages_failed", "parcels_failed"):
+                for k in layer_keys:
                     v = loc.parcel_layer.stats.counters.get(k, 0)
                     if v:
                         out[k] = out.get(k, 0) + v
+        return out
+
+    def flow_summary(self) -> Dict[str, Any]:
+        """Per-peer flow-control gauges (credits left, queue depths).
+
+        Empty dict when no :class:`~repro.flow.FlowControlPolicy` is set.
+        """
+        if self.flow_policy is None:
+            return {}
+        out: Dict[str, Any] = {}
+        for loc in self.localities:
+            pp = loc.parcelport
+            pl = loc.parcel_layer
+            if pp is None:
+                continue
+            entry: Dict[str, Any] = {}
+            rel = getattr(pp, "reliability", None)
+            if rel is not None:
+                gauges = rel.credit_gauges()
+                if gauges:
+                    entry["credits"] = gauges
+                entry["in_flight"] = rel.in_flight
+            depths = pp.backlog_depths()
+            if depths:
+                entry["backlog"] = depths
+            entry["backlog_peak"] = pp.backlog_peak
+            if pl is not None:
+                queued = pl.queued_parcels()
+                if queued:
+                    entry["queued_parcels"] = queued
+            out[f"L{loc.lid}"] = entry
         return out

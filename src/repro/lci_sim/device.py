@@ -93,7 +93,11 @@ class LciDevice:
         #: (§7.2 future work) get independent RX queues and progress state
         self.vchan = vchan
         nic.ensure_vchans(vchan + 1)
-        self.pool = PacketPool(sim, params, name=f"lci{rank}.d{vchan}.pool")
+        # The pool consults the fault injector (if any) for pool-squeeze
+        # windows — registered-memory pressure is a per-node fault.
+        injector = nic.fabric.injector if nic.fabric is not None else None
+        self.pool = PacketPool(sim, params, name=f"lci{rank}.d{vchan}.pool",
+                               injector=injector, node=rank)
         self.progress_lock = TryLock(sim, f"lci{rank}.d{vchan}.progress",
                                      fail_cost=params.trylock_fail_us)
         #: hashed matching table: tag -> posted receive ops (FIFO)
@@ -210,6 +214,15 @@ class LciDevice:
             self.stats.inc("recvm_posted")
             yield worker.cpu(p.match_lookup_us + p.match_insert_us)
             return
+        if msg.kind == "lci_rts":
+            # An eager→rendezvous fallback sender (pool exhaustion) beat
+            # this receive post: answer the buffered RTS with a CTS, the
+            # data then completes this op exactly like a matched medium.
+            op = LciOp("recvm", -1, size, tag, comp, ctx)
+            self.stats.inc("recvm_rndv_matched")
+            yield worker.cpu(p.match_lookup_us)
+            yield from self._send_cts(worker, msg.src, msg.payload, op)
+            return
         self.stats.inc("recvm_unexpected")
         # copy from the retained packet into the user buffer, free packet
         yield worker.cpu(p.match_lookup_us + p.unexpected_handling_us * 0.5)
@@ -316,7 +329,10 @@ class LciDevice:
             self.stats.inc("puts_delivered")
         elif kind == "lci_rts":
             # Match-or-stash is atomic (one sim instant); costs follow.
-            op = self._pop_posted(msg.tag, kind="recvl")
+            # Any posted-receive kind matches: a recvm is a legitimate
+            # partner when the sender fell back from eager to rendezvous
+            # on pool exhaustion (its completion shape is identical).
+            op = self._pop_posted(msg.tag)
             if op is None:
                 self._unexpected[msg.tag].append(msg)
                 self.stats.inc("rts_unexpected")

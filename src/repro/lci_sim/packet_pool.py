@@ -16,14 +16,23 @@ __all__ = ["PacketPool"]
 
 
 class PacketPool:
-    """Bounded counter of free registered packets."""
+    """Bounded counter of free registered packets.
 
-    def __init__(self, sim: Simulator, params: LciParams, name: str = "pool"):
+    With a fault ``injector``, active pool-squeeze windows shrink the
+    effective capacity: acquires fail (the normal retry status) while
+    ``in_use`` would exceed the squeezed cap, modelling registered-memory
+    pressure without touching packets already in flight.
+    """
+
+    def __init__(self, sim: Simulator, params: LciParams, name: str = "pool",
+                 injector=None, node: int = 0):
         self.sim = sim
         self.params = params
         self.name = name
         self.capacity = params.packet_count
         self.free = params.packet_count
+        self.injector = injector
+        self.node = node
         self.stats = StatSet(name)
 
     @property
@@ -33,6 +42,12 @@ class PacketPool:
     def try_acquire(self) -> bool:
         """Take one packet; False (retry later) if the pool is empty."""
         self.stats.inc("acquires")
+        if self.injector is not None:
+            cap = self.injector.pool_cap(self.node, self.sim.now)
+            if cap is not None and self.in_use >= cap:
+                self.stats.inc("exhaustions")
+                self.stats.inc("squeezed")
+                return False
         if self.free <= 0:
             self.stats.inc("exhaustions")
             return False

@@ -85,18 +85,24 @@ class Nic:
         while len(self.rx_rings) < n:
             self.rx_rings.append(deque())
 
-    def deliver(self, msg: NetMsg) -> None:
-        """Called by the fabric when ``msg`` lands in our RX ring."""
+    def deliver(self, msg: NetMsg, redelivery: bool = False) -> None:
+        """Called by the fabric when ``msg`` lands in our RX ring.
+
+        ``redelivery`` marks a message re-entering after a deferral, so
+        per-message holds (slow-receiver delays) never compound.
+        """
         if self.fabric is not None and self.fabric.injector is not None:
             inj = self.fabric.injector
-            until = inj.stalled_until(self.node_id, self.sim.now)
+            until = inj.deferred_until(msg, self.node_id, self.sim.now,
+                                       redelivery=redelivery)
             if until > self.sim.now:
-                # NIC stalled: the descriptor sits in hardware until the
-                # stall window ends (ordering preserved — deferred events
-                # re-enter the schedule in original sequence).
-                inj.stats.inc("stall_deferrals")
-                self.sim.schedule_call(until - self.sim.now,
-                                       lambda: self.deliver(msg))
+                # Deferred (NIC stall, slow receiver or ack starvation):
+                # the descriptor sits in hardware until the hold ends
+                # (ordering preserved — deferred events re-enter the
+                # schedule in original sequence).
+                self.sim.schedule_call(
+                    until - self.sim.now,
+                    lambda: self.deliver(msg, redelivery=True))
                 return
         msg.arrive_t = self.sim.now
         self.ensure_vchans(msg.vchan + 1)

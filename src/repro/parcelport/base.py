@@ -12,9 +12,12 @@ from __future__ import annotations
 
 import abc
 import itertools
-from typing import Any, Callable, List, Optional, Tuple, TYPE_CHECKING
+from collections import deque
+from typing import (Any, Callable, Deque, Dict, List, Optional, Tuple,
+                    TYPE_CHECKING)
 
 from ..faults import ParcelSendError
+from ..flow import SEND_OK, SEND_QUEUED, SEND_WOULD_BLOCK, FlowControlPolicy
 from ..hpx_rt.parcel import HpxMessage
 from ..hpx_rt.scheduler import Worker
 from ..sim.stats import StatSet
@@ -113,6 +116,21 @@ class Parcelport(abc.ABC):
                 self.sim, runtime.retry_policy,
                 runtime.rng.stream(f"retry{locality.lid}"),
                 stats=self.stats)
+        # End-to-end flow control: same contract as reliability — a None
+        # policy keeps every hot path byte-identical to the seed.
+        self.flow: Optional[FlowControlPolicy] = getattr(
+            runtime, "flow_policy", None)
+        #: per-destination backlog of (conn, msg, on_complete) waiting for
+        #: credit; drained by :meth:`_flow_pump` from background work
+        self._backlog: Dict[int, Deque[Tuple[Connection, HpxMessage,
+                                             Optional[Callable]]]] = {}
+        self._backlog_total = 0
+        self.backlog_peak = 0
+        #: (dest, callback) pairs fired when the dest backlog has room
+        self._accept_waiters: List[Tuple[int, Callable[[], None]]] = []
+        if (self.flow is not None and self.reliability is not None
+                and self.flow.credit_window):
+            self.reliability.set_credit_window(self.flow.credit_window)
 
     # -- upper-layer interface ------------------------------------------------
     def make_connection(self, dest: int) -> Connection:
@@ -136,6 +154,104 @@ class Parcelport(abc.ABC):
         ``rounds`` overrides the weight-scaled default poll-round count
         (the scheduler passes ``rounds=1`` for its between-task slices).
         """
+
+    # -- flow control (active only with a FlowControlPolicy) -----------------
+    def submit_message(self, worker: Worker, conn: Connection,
+                       msg: HpxMessage, on_complete):
+        """Generator → status: the flow-controlled front of ``send_message``.
+
+        Without a policy this is exactly ``send_message`` (``SEND_OK``).
+        With one: the send starts immediately when nothing is backlogged
+        ahead of it and a credit is available; otherwise it parks in the
+        bounded per-destination backlog (``SEND_QUEUED``, drained by
+        background work as acks return credits) — and when the backlog is
+        full the caller gets ``SEND_WOULD_BLOCK`` and must defer or shed.
+        Credit accounting is synchronous (no yield between the check and
+        the decrement), so the window can never be overshot.
+        """
+        fl = self.flow
+        if fl is None:
+            yield from self.send_message(worker, conn, msg, on_complete)
+            return SEND_OK
+        rel = self.reliability
+        dest = msg.dest
+        q = self._backlog.get(dest)
+        credits_on = rel is not None and rel.credit_window > 0
+        if not q and (not credits_on or rel.consume_credit(dest)):
+            if credits_on:
+                msg.credited = True
+            yield from self.send_message(worker, conn, msg, on_complete)
+            return SEND_OK
+        if q is None:
+            q = self._backlog[dest] = deque()
+        if fl.max_backlog and len(q) >= fl.max_backlog:
+            self.stats.inc("backlog_refusals")
+            return SEND_WOULD_BLOCK
+        q.append((conn, msg, on_complete))
+        self._backlog_total += 1
+        if self._backlog_total > self.backlog_peak:
+            self.backlog_peak = self._backlog_total
+        self.stats.inc("backlogged_sends")
+        return SEND_QUEUED
+
+    def can_accept(self, dest: int) -> bool:
+        """True if a submit for ``dest`` would not return WOULD_BLOCK."""
+        fl = self.flow
+        if fl is None or not fl.max_backlog:
+            return True
+        q = self._backlog.get(dest)
+        return q is None or len(q) < fl.max_backlog
+
+    def notify_when_accepting(self, dest: int,
+                              callback: Callable[[], None]) -> None:
+        """Register a one-shot callback fired (from background work) once
+        the ``dest`` backlog has room again."""
+        self._accept_waiters.append((dest, callback))
+
+    def backlog_depths(self) -> Dict[int, int]:
+        """Current backlog occupancy per destination (gauges)."""
+        return {d: len(q) for d, q in self._backlog.items() if q}
+
+    def _flow_pump(self, worker: Worker):
+        """Generator → bool: drain backlogged sends as credits return and
+        fire accept-waiters once room frees up.
+
+        Pure bookkeeping when idle (no simulated cost) so a flow-enabled
+        but unloaded run stays byte-identical to one without the policy.
+        """
+        did = False
+        rel = self.reliability
+        if self._backlog_total:
+            credits_on = rel is not None and rel.credit_window > 0
+            for dest in list(self._backlog.keys()):
+                q = self._backlog.get(dest)
+                while q:
+                    # Peek first: a consume on an empty window would count
+                    # a credit stall per background poll, drowning the
+                    # one-per-submit signal the counters report.
+                    if credits_on and not rel.has_credit(dest):
+                        break
+                    conn, msg, cb = q.popleft()
+                    self._backlog_total -= 1
+                    if credits_on:
+                        rel.consume_credit(dest)
+                        msg.credited = True
+                    did = True
+                    self.stats.inc("backlog_drains")
+                    yield from self.send_message(worker, conn, msg, cb)
+        if self._accept_waiters:
+            keep: List[Tuple[int, Callable[[], None]]] = []
+            fired: List[Callable[[], None]] = []
+            for dest, cb in self._accept_waiters:
+                if self.can_accept(dest):
+                    fired.append(cb)
+                else:
+                    keep.append((dest, cb))
+            self._accept_waiters = keep
+            for cb in fired:
+                did = True
+                cb()
+        return did
 
     def start(self) -> None:
         """Boot-time hook: post persistent receives, spawn progress thread."""

@@ -177,6 +177,25 @@ class LciParcelport(Parcelport):
         return self.devices[tag_raw % len(self.devices)]
 
     # ------------------------------------------------------------------
+    # packet-pool exhaustion reaction
+    # ------------------------------------------------------------------
+    def _pool_wait(self, worker, attempt: int):
+        """Generator: wait out a pool exhaustion before retrying.
+
+        Without a flow policy this is the seed's fixed ``RETRY_US`` spin;
+        with one, consecutive exhaustions back off exponentially up to
+        the policy ceiling instead of hammering a dry pool.
+        """
+        self.stats.inc("pool_retries")
+        fl = self.flow
+        if fl is None:
+            yield self.sim.timeout(RETRY_US)
+            return
+        if attempt > 0:
+            self.stats.inc("pool_backoffs")
+        yield self.sim.timeout(fl.pool_wait_us(attempt))
+
+    # ------------------------------------------------------------------
     # send path
     # ------------------------------------------------------------------
     def send_message(self, worker, conn: Connection, msg: HpxMessage,
@@ -204,25 +223,27 @@ class LciParcelport(Parcelport):
         payload = ("hdr", msg, plan.followups, conn.tag_raw,
                    plan.piggybacked_bytes, msg.seq)
         if self.protocol == "psr":
+            attempt = 0
             while True:
                 ok = yield from device.putva(
                     worker, msg.dest, plan.header_size, payload=payload,
                     assembled_in_place=True)
                 if ok:
                     break
-                self.stats.inc("pool_retries")
-                yield self.sim.timeout(RETRY_US)
+                yield from self._pool_wait(worker, attempt)
+                attempt += 1
                 if conn.aborted:
                     return
         else:  # sr: two-sided header
+            attempt = 0
             while True:
                 ok = yield from device.sendm(
                     worker, msg.dest, plan.header_size, HEADER_TAG,
                     comp=None, payload=payload)
                 if ok:
                     break
-                self.stats.inc("pool_retries")
-                yield self.sim.timeout(RETRY_US)
+                yield from self._pool_wait(worker, attempt)
+                attempt += 1
                 if conn.aborted:
                     return
         self.stats.inc("header_sends")
@@ -243,18 +264,29 @@ class LciParcelport(Parcelport):
         conn.cur = comp
         if isinstance(comp, Synchronizer):
             yield from self._register_sync(worker, comp)
-        if size <= device.params.eager_threshold:
+        use_rendezvous = size > device.params.eager_threshold
+        if not use_rendezvous:
+            fl = self.flow
+            attempt = 0
             while True:
                 ok = yield from device.sendm(
                     worker, conn.dest, size, tag, comp,
                     ctx=("send", conn), payload=("chunk", kind))
                 if ok:
                     break
-                self.stats.inc("pool_retries")
-                yield self.sim.timeout(RETRY_US)
+                if fl is not None \
+                        and attempt + 1 >= fl.rendezvous_fallback_after:
+                    # The pool stayed dry: switch this chunk to the
+                    # rendezvous path, which needs no pool packet (the
+                    # receiver's posted eager receive matches the RTS).
+                    self.stats.inc("eager_fallbacks")
+                    use_rendezvous = True
+                    break
+                yield from self._pool_wait(worker, attempt)
+                attempt += 1
                 if conn.aborted:
                     return
-        else:
+        if use_rendezvous:
             yield from device.sendl(worker, conn.dest, size, tag, comp,
                                     ctx=("send", conn),
                                     payload=("chunk", kind))
@@ -393,13 +425,14 @@ class LciParcelport(Parcelport):
         """End-to-end ack: a small two-sided eager send on device 0."""
         device = self.devices[0]
         size = self.reliability.policy.ack_bytes
+        attempt = 0
         while True:
             ok = yield from device.sendm(worker, dst, size, ACK_TAG,
                                          comp=None, payload=("ack", seq))
             if ok:
                 break
-            self.stats.inc("pool_retries")
-            yield self.sim.timeout(RETRY_US)
+            yield from self._pool_wait(worker, attempt)
+            attempt += 1
         self.stats.inc("ack_sends")
 
     def _abort_send_conn(self, worker, conn: Connection):
@@ -472,6 +505,8 @@ class LciParcelport(Parcelport):
             did = (yield from self._scan_syncs(worker)) or did
         if self.reliability is not None:
             did = (yield from self._reliability_poll(worker)) or did
+        if self.flow is not None:
+            did = (yield from self._flow_pump(worker)) or did
         return did
 
     def _scan_syncs(self, worker):

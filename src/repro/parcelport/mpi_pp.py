@@ -301,6 +301,8 @@ class MpiParcelport(Parcelport):
         did = (yield from self._scan_pending(worker)) or did
         if self.reliability is not None:
             did = (yield from self._reliability_poll(worker)) or did
+        if self.flow is not None:
+            did = (yield from self._flow_pump(worker)) or did
         return did
 
     def _check_header(self, worker):

@@ -34,7 +34,7 @@ import heapq
 import itertools
 from typing import Any, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
-from ..faults import RetryPolicy
+from ..faults import ACK_TAG, RetryPolicy
 from ..sim.stats import StatSet
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -42,17 +42,17 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sim.core import Simulator
     from .base import Connection
 
+# ACK_TAG (= 2, below FIRST_DYNAMIC_TAG so it can never collide with a
+# connection tag) is defined in repro.faults so the injector's
+# credit-starvation mode can recognize acks; re-exported here because the
+# parcelports treat this module as the protocol's home.
 __all__ = ["ReliabilityLayer", "InFlight", "ACK_TAG"]
-
-#: tag reserved for end-to-end ack messages (both parcelports; below
-#: FIRST_DYNAMIC_TAG so it can never collide with a connection tag)
-ACK_TAG = 2
 
 
 class InFlight:
     """Sender-side state of one unacknowledged HPX message."""
 
-    __slots__ = ("seq", "msg", "conn", "attempts", "deadline")
+    __slots__ = ("seq", "msg", "conn", "attempts", "deadline", "credited")
 
     def __init__(self, seq: int, msg: "HpxMessage", conn: "Connection",
                  deadline: float):
@@ -61,6 +61,7 @@ class InFlight:
         self.conn: Optional["Connection"] = conn
         self.attempts = 0          #: retransmissions performed so far
         self.deadline = deadline
+        self.credited = False      #: holds one flow-control credit
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<InFlight seq={self.seq} attempts={self.attempts} "
@@ -80,10 +81,63 @@ class ReliabilityLayer:
         # sender side
         self._table: Dict[int, InFlight] = {}
         self._heap: List[Tuple[float, int]] = []
+        # per-peer credit windows (flow control; 0 = disabled)
+        self.credit_window = 0
+        self._credits: Dict[int, int] = {}
         # receiver side
         self._seen: Set[Tuple[int, int]] = set()
         self._watched: Dict[int, "Connection"] = {}
         self._recv_heap: List[Tuple[float, int]] = []
+
+    # ------------------------------------------------------------------
+    # credit-based flow control (piggybacked on the ack protocol)
+    # ------------------------------------------------------------------
+    def set_credit_window(self, window: int) -> None:
+        """Enable per-peer credit windows of ``window`` messages (0 =
+        unlimited).  A credit is consumed per fresh tracked send and
+        replenished exactly once, when the message stops being tracked
+        (end-to-end ack or terminal failure) — retransmissions reuse
+        their original credit."""
+        if window < 0:
+            raise ValueError("credit window must be >= 0")
+        self.credit_window = window
+
+    def has_credit(self, peer: int) -> bool:
+        """Non-consuming peek (used by the backlog pump to avoid
+        inflating the stall counter on every poll)."""
+        if not self.credit_window:
+            return True
+        return self._credits.get(peer, self.credit_window) > 0
+
+    def consume_credit(self, peer: int) -> bool:
+        """Take one credit for ``peer``; False (and a ``credit_stalls``
+        count) if the window is exhausted."""
+        if not self.credit_window:
+            return True
+        left = self._credits.get(peer, self.credit_window)
+        if left <= 0:
+            self.stats.inc("credit_stalls")
+            return False
+        self._credits[peer] = left - 1
+        self.stats.inc("credits_consumed")
+        return True
+
+    def _release_credit(self, peer: int) -> None:
+        if not self.credit_window:
+            return
+        left = self._credits.get(peer, self.credit_window)
+        if left >= self.credit_window:
+            raise RuntimeError(
+                f"credit release beyond window for peer {peer}")
+        self._credits[peer] = left + 1
+        self.stats.inc("credits_replenished")
+
+    def credits_left(self, peer: int) -> int:
+        return self._credits.get(peer, self.credit_window)
+
+    def credit_gauges(self) -> Dict[int, int]:
+        """Current credits per peer (only peers ever throttled appear)."""
+        return dict(self._credits)
 
     # ------------------------------------------------------------------
     # sender side
@@ -108,6 +162,9 @@ class ReliabilityLayer:
         entry = self._table.get(seq)
         if entry is None:
             entry = InFlight(seq, msg, conn, self.next_deadline(0))
+            # The submit path consumed this message's credit (if any);
+            # the entry carries it until ack or terminal failure.
+            entry.credited = getattr(msg, "credited", False)
             self._table[seq] = entry
             heapq.heappush(self._heap, (entry.deadline, seq))
             self.stats.inc("tracked_sends")
@@ -127,8 +184,12 @@ class ReliabilityLayer:
 
     def on_ack(self, seq: int) -> None:
         """End-to-end ack arrived: the message is delivered, stop tracking."""
-        if self._table.pop(seq, None) is not None:
+        entry = self._table.pop(seq, None)
+        if entry is not None:
             self.stats.inc("acks_received")
+            if entry.credited:
+                entry.credited = False
+                self._release_credit(entry.msg.dest)
         else:
             self.stats.inc("acks_stale")
 
@@ -142,12 +203,16 @@ class ReliabilityLayer:
             entry.deadline = self.sim.now
             heapq.heappush(self._heap, (entry.deadline, seq))
 
-    def take_expired(self, now: float, limit: int = 8) -> List[InFlight]:
-        """Pop up to ``limit`` entries whose deadline has passed.
+    def take_expired(self, now: float,
+                     limit: Optional[int] = None) -> List[InFlight]:
+        """Pop up to ``limit`` entries whose deadline has passed (default:
+        the policy's ``drain_limit``).
 
         Caller must either :meth:`reschedule` or :meth:`drop` each one
         (stale heap keys from acked/refreshed entries are skipped lazily).
         """
+        if limit is None:
+            limit = self.policy.drain_limit
         out: List[InFlight] = []
         while self._heap and len(out) < limit:
             deadline, seq = self._heap[0]
@@ -169,7 +234,9 @@ class ReliabilityLayer:
 
     def drop(self, entry: InFlight) -> None:
         """Stop tracking a failed message (retries exhausted)."""
-        self._table.pop(entry.seq, None)
+        if self._table.pop(entry.seq, None) is not None and entry.credited:
+            entry.credited = False
+            self._release_credit(entry.msg.dest)
 
     @property
     def in_flight(self) -> int:
@@ -198,9 +265,12 @@ class ReliabilityLayer:
     def unwatch_recv(self, conn: "Connection") -> None:
         self._watched.pop(conn.cid, None)
 
-    def take_expired_recvs(self, now: float, limit: int = 8
+    def take_expired_recvs(self, now: float, limit: Optional[int] = None
                            ) -> List["Connection"]:
-        """Receiver chains idle past the expiry window (to be aborted)."""
+        """Receiver chains idle past the expiry window (to be aborted);
+        ``limit`` defaults to the policy's ``drain_limit``."""
+        if limit is None:
+            limit = self.policy.drain_limit
         out: List["Connection"] = []
         while self._recv_heap and len(out) < limit:
             deadline, cid = self._recv_heap[0]

@@ -46,6 +46,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="overload scenario DSL for the overload_smoke "
                              "figure, e.g. 'squeeze=0:3000@0*1,slow=0:4000"
                              "@1*2' (see docs/FLOW_CONTROL.md)")
+    parser.add_argument("--trace", metavar="SPEC", default=None,
+                        help="trace spec for the trace_smoke figure: a "
+                             "preset ('parcel', 'all') or comma-separated "
+                             "categories (see docs/OBSERVABILITY.md)")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write the trace_smoke runs as a merged "
+                             "Perfetto/Chrome trace_event JSON file")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics-registry dump for each "
+                             "trace_smoke run")
     parser.add_argument("--validate", action="store_true",
                         help="run the figure's EXPERIMENTS.md shape checks "
                              "and set a nonzero exit code on failure")
@@ -62,6 +72,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             FaultPlan.parse(args.overload)
         except ValueError as exc:
             parser.error(f"--overload: {exc}")
+
+    if args.trace is not None:
+        from ..obs import parse_trace_spec
+        try:
+            parse_trace_spec(args.trace)
+        except ValueError as exc:
+            parser.error(f"--trace: {exc}")
 
     if args.figure == "tables":
         print(table_abbreviations())
@@ -82,6 +99,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             if name != "overload_smoke":
                 parser.error("--overload only applies to overload_smoke")
             kwargs["spec"] = args.overload
+        if args.trace is not None or args.trace_out is not None \
+                or args.metrics:
+            if name != "trace_smoke":
+                parser.error("--trace/--trace-out/--metrics only apply "
+                             "to trace_smoke")
+            if args.trace is not None:
+                kwargs["spec"] = args.trace
+            if args.trace_out is not None:
+                kwargs["trace_out"] = args.trace_out
+            if args.metrics:
+                kwargs["show_metrics"] = True
         result = FIGURES[name](quick=not args.full, repeats=args.repeats,
                                **kwargs)
         print(result.render(plot=not args.no_plot))

@@ -32,7 +32,8 @@ __all__ = ["FigureResult", "FIGURES",
            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
            "fig7", "fig8", "fig9", "fig10", "fig11",
            "ablation_mpi_pp", "ablation_aggregation", "fault_smoke",
-           "overload_smoke", "OVERLOAD_CONFIGS", "OVERLOAD_SPEC"]
+           "overload_smoke", "trace_smoke",
+           "OVERLOAD_CONFIGS", "OVERLOAD_SPEC"]
 
 #: the 11 configurations of Figs 3/6/7/8/9
 ALL_CONFIGS = (["lci_psr_cq_pin"] + ALL_LCI_VARIANTS + ["mpi", "mpi_i"])
@@ -71,6 +72,10 @@ class FigureResult:
                 body = "  ".join(f"{k}={v:g}" for k, v in
                                  sorted(counters[key].items())) or "(none)"
                 parts.append(f"-- {key}: {body}")
+        reports = self.meta.get("reports")
+        if reports:
+            for key in sorted(reports):
+                parts.append(f"-- {key} --\n{reports[key]}")
         return "\n".join(parts)
 
     def show(self) -> None:
@@ -489,6 +494,80 @@ def overload_smoke(quick: bool = True, repeats: Optional[int] = None,
                                        "max_backlog": flow.max_backlog}})
 
 
+# ---------------------------------------------------------------------------
+# tracing smoke (not a paper figure: exercises repro.obs)
+# ---------------------------------------------------------------------------
+def trace_smoke(quick: bool = True, repeats: Optional[int] = None,
+                spec: Optional[str] = None, trace_out: Optional[str] = None,
+                show_metrics: bool = False) -> FigureResult:
+    """Traced windowed ping-pong, MPI vs LCI, with critical-path analysis.
+
+    Runs the Fig. 8 workload (8 B, window 16) under ``--trace`` and
+    decomposes every delivered message's latency into the paper's Fig. 7
+    stages.  The headline check: the improved-MPI run is dominated by
+    progress-lock wait while the LCI run is dominated by (lock-free)
+    progress polling.  With ``trace_out``, both runs are merged into one
+    Perfetto/Chrome ``trace_event`` JSON file (MPI pids 0+, LCI 100+).
+
+    The run is deterministic per seed, so ``repeats`` is accepted for CLI
+    uniformity but a single seed is measured.
+    """
+    import json as _json
+
+    from ..obs import (analyze, parse_trace_spec, to_merged_chrome_trace,
+                       validate_chrome_trace)
+
+    spec = spec or "parcel"
+    parse_trace_spec(spec)  # fail fast on a bad spec
+    steps = 30 if quick else 60
+    window = 16
+    configs = ["mpi_i", "lci_psr_cq_pin_i"]
+    series: List[Series] = []
+    counters: Dict[str, Dict[str, float]] = {}
+    reports: Dict[str, str] = {}
+    dominant: Dict[str, str] = {}
+    runs = []
+    for cfg in configs:
+        params = LatencyParams(msg_size=8, window=window, steps=steps)
+        res = run_latency(cfg, params, trace=spec)
+        rep = analyze(res.obs)
+        s = Series(label=cfg)
+        s.xs.append(float(window))
+        s.ys.append(res.one_way_latency_us)
+        s.yerr.append(0.0)
+        series.append(s)
+        shares = rep.shares()
+        counters[cfg] = {
+            "chains": float(rep.n_complete),
+            "retx": float(rep.retransmits),
+            "lock_wait_pct": 100 * shares["progress_lock_wait"],
+            "poll_pct": 100 * shares["progress_poll"],
+            "wire_pct": 100 * shares["wire"],
+            "spans": float(len(res.obs)),
+        }
+        reports[cfg] = rep.render()
+        dominant[cfg] = rep.dominant
+        if show_metrics and res.metrics is not None:
+            reports[f"{cfg} metrics"] = res.metrics.render()
+        runs.append((res.obs, cfg))
+    meta: Dict[str, object] = {"steps": steps, "window": window,
+                               "spec": spec, "counters": counters,
+                               "reports": reports, "dominant": dominant}
+    if trace_out:
+        doc = to_merged_chrome_trace(runs)
+        errors = validate_chrome_trace(doc)
+        with open(trace_out, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh)
+        meta["trace_out"] = trace_out
+        meta["trace_events"] = len(doc["traceEvents"])
+        meta["trace_errors"] = errors
+    return FigureResult("trace_smoke",
+                        "Traced latency with critical-path decomposition "
+                        "(8B, window 16)",
+                        series, x_name="window", y_name="latency us",
+                        meta=meta)
+
+
 #: registry for the CLI
 FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig1": fig1, "fig2": fig2, "fig3": fig3, "fig4": fig4, "fig5": fig5,
@@ -498,4 +577,5 @@ FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "ablation_aggregation": ablation_aggregation,
     "fault_smoke": fault_smoke,
     "overload_smoke": overload_smoke,
+    "trace_smoke": trace_smoke,
 }

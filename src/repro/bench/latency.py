@@ -9,7 +9,7 @@ every pong is a separate HPX task.  One-way latency = total time /
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from ..faults import FaultPlan, RetryPolicy
 from ..flow import FlowControlPolicy
@@ -41,6 +41,12 @@ class LatencyResult:
     failed_chains: int = 0
     #: merged fault counters from the runtime (empty without a fault plan)
     faults: Dict[str, int] = field(default_factory=dict)
+    #: the run's SpanRecorder when tracing was requested (else None);
+    #: deliberately excluded from :meth:`as_dict` so traced and untraced
+    #: runs report byte-identical results
+    obs: Any = None
+    #: the run's MetricsRegistry when tracing was requested (else None)
+    metrics: Any = None
 
     @property
     def one_way_latency_us(self) -> float:
@@ -60,8 +66,8 @@ def run_latency(config: "PPConfig | str", params: LatencyParams,
                 seed: int = 0xC0FFEE,
                 fault_plan: Optional[FaultPlan] = None,
                 retry_policy: Optional[RetryPolicy] = None,
-                flow_policy: Optional[FlowControlPolicy] = None
-                ) -> LatencyResult:
+                flow_policy: Optional[FlowControlPolicy] = None,
+                trace: "str | bool | None" = None) -> LatencyResult:
     """One latency run: ``window`` chains × ``steps`` round trips.
 
     With a ``fault_plan``, a chain whose ping or pong exhausts its retries
@@ -74,7 +80,7 @@ def run_latency(config: "PPConfig | str", params: LatencyParams,
     p = params
     rt = make_runtime(config, platform=p.platform, n_localities=2, seed=seed,
                       fault_plan=fault_plan, retry_policy=retry_policy,
-                      flow_policy=flow_policy)
+                      flow_policy=flow_policy, trace=trace)
     sim = rt.sim
     done = rt.new_latch(p.window)
     size = p.msg_size
@@ -120,4 +126,6 @@ def run_latency(config: "PPConfig | str", params: LatencyParams,
                          failed_chains=state["failed_chains"],
                          faults=rt.fault_summary()
                          if (fault_plan is not None or flow_policy is not None)
-                         else {})
+                         else {},
+                         obs=rt.obs,
+                         metrics=rt.metrics() if rt.obs is not None else None)

@@ -17,7 +17,7 @@ Rates are reported in K messages/s of *virtual* time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..faults import FaultPlan, RetryPolicy
 from ..flow import FlowControlPolicy
@@ -55,6 +55,12 @@ class MessageRateResult:
     failed_msgs: int = 0
     #: merged fault counters from the runtime (empty without a fault plan)
     faults: Dict[str, int] = field(default_factory=dict)
+    #: the run's SpanRecorder when tracing was requested (else None);
+    #: deliberately excluded from :meth:`as_dict` so traced and untraced
+    #: runs report byte-identical results
+    obs: Any = None
+    #: the run's MetricsRegistry when tracing was requested (else None)
+    metrics: Any = None
 
     @property
     def achieved_injection_kps(self) -> float:
@@ -84,7 +90,8 @@ def run_message_rate(config: "PPConfig | str", params: MessageRateParams,
                      seed: int = 0xC0FFEE,
                      fault_plan: Optional[FaultPlan] = None,
                      retry_policy: Optional[RetryPolicy] = None,
-                     flow_policy: Optional[FlowControlPolicy] = None
+                     flow_policy: Optional[FlowControlPolicy] = None,
+                     trace: "str | bool | None" = None
                      ) -> MessageRateResult:
     """One full message-rate run for one configuration.
 
@@ -102,7 +109,7 @@ def run_message_rate(config: "PPConfig | str", params: MessageRateParams,
         raise ValueError("total_msgs must be a multiple of batch")
     rt = make_runtime(config, platform=p.platform, n_localities=2, seed=seed,
                       fault_plan=fault_plan, retry_policy=retry_policy,
-                      flow_policy=flow_policy)
+                      flow_policy=flow_policy, trace=trace)
     sim = rt.sim
 
     state = {"received": 0, "failed": 0, "tasks_done": 0,
@@ -176,4 +183,6 @@ def run_message_rate(config: "PPConfig | str", params: MessageRateParams,
         total_msgs=p.total_msgs,
         failed_msgs=state["failed"],
         faults=rt.fault_summary()
-        if (fault_plan is not None or flow_policy is not None) else {})
+        if (fault_plan is not None or flow_policy is not None) else {},
+        obs=rt.obs,
+        metrics=rt.metrics() if rt.obs is not None else None)

@@ -63,6 +63,9 @@ def runtime_breakdown(rt: HpxRuntime) -> Dict[str, float]:
                 + mpi.stats.counters.get("unexpected_msgs", 0)
         devices = getattr(pp, "devices", None)
         if devices:
+            # symmetric LCI-side accounting: the paper's §2.1 resources
+            # (packet pool, completion queues, synchronizers) each get the
+            # counters the MPI side gets for its big lock
             for dev in devices:
                 out["lci_progress_calls"] = \
                     out.get("lci_progress_calls", 0) \
@@ -73,6 +76,37 @@ def runtime_breakdown(rt: HpxRuntime) -> Dict[str, float]:
                 out["lci_msgs_progressed"] = \
                     out.get("lci_msgs_progressed", 0) \
                     + dev.stats.counters.get("msgs_progressed", 0)
+                pool = dev.pool
+                out["lci_pool_acquires"] = \
+                    out.get("lci_pool_acquires", 0) \
+                    + pool.stats.counters.get("acquires", 0)
+                out["lci_pool_exhaustions"] = \
+                    out.get("lci_pool_exhaustions", 0) \
+                    + pool.stats.counters.get("exhaustions", 0)
+                out["lci_pool_squeezed"] = \
+                    out.get("lci_pool_squeezed", 0) \
+                    + pool.stats.counters.get("squeezed", 0)
+                out["lci_pool_in_use"] = \
+                    out.get("lci_pool_in_use", 0) + pool.in_use
+                out["lci_pool_capacity"] = \
+                    out.get("lci_pool_capacity", 0) + pool.capacity
+        cqs = list(getattr(pp, "header_cqs", []) or [])
+        comp_cq = getattr(pp, "comp_cq", None)
+        if comp_cq is not None:
+            cqs.append(comp_cq)
+        for cq in cqs:
+            out["lci_cq_signals"] = out.get("lci_cq_signals", 0) \
+                + cq.stats.counters.get("signals", 0)
+            out["lci_cq_pops"] = out.get("lci_cq_pops", 0) \
+                + cq.stats.counters.get("pops", 0)
+            out["lci_cq_empty_pops"] = out.get("lci_cq_empty_pops", 0) \
+                + cq.stats.counters.get("empty_pops", 0)
+            out["lci_cq_max_depth"] = max(out.get("lci_cq_max_depth", 0),
+                                          cq.max_depth)
+        sync_pending = getattr(pp, "sync_pending", None)
+        if sync_pending is not None:
+            out["lci_sync_pending"] = out.get("lci_sync_pending", 0) \
+                + len(sync_pending)
     return out
 
 
@@ -100,6 +134,16 @@ def format_breakdown(breakdown: Dict[str, float]) -> str:
     row("lci_progress_calls", "LCI progress calls")
     row("lci_progress_contended", "LCI progress try-lock failures")
     row("lci_msgs_progressed", "LCI messages progressed")
+    row("lci_pool_acquires", "LCI packet-pool acquires")
+    row("lci_pool_exhaustions", "LCI packet-pool exhaustions")
+    row("lci_pool_squeezed", "LCI packet-pool fault squeezes")
+    row("lci_pool_in_use", "LCI packets in use (end of run)")
+    row("lci_pool_capacity", "LCI packet-pool capacity")
+    row("lci_cq_signals", "LCI completion-queue signals")
+    row("lci_cq_pops", "LCI completion-queue pops")
+    row("lci_cq_empty_pops", "LCI completion-queue empty pops")
+    row("lci_cq_max_depth", "LCI completion-queue max depth")
+    row("lci_sync_pending", "LCI synchronizers pending (end of run)")
     row("tasks_run", "tasks executed")
     row("background_calls", "background-work invocations")
     row("parcels_sent", "parcels sent")

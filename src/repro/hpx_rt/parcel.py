@@ -28,6 +28,7 @@ PARCEL_METADATA_BYTES = 64
 TRANSMISSION_ENTRY_BYTES = 16
 
 _parcel_ids = itertools.count()
+_msg_ids = itertools.count()
 
 
 @dataclass
@@ -84,6 +85,9 @@ class HpxMessage:
     #: parcelport submit path, transferred to the in-flight entry and
     #: released exactly once — on ack or terminal failure)
     credited: bool = False
+    #: process-global message id: the correlation key that links every
+    #: observability record of this message's lifecycle into one chain
+    mid: int = field(default_factory=lambda: next(_msg_ids))
 
     @property
     def has_zero_copy(self) -> bool:

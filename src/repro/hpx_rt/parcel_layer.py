@@ -58,6 +58,8 @@ class ParcelLayer:
             locality.runtime, "flow_policy", None)
         #: bounded sample of parcels dropped by the ``shed`` overflow policy
         self.shed_parcels: List[Parcel] = []
+        #: span recorder (None => tracing off, zero overhead)
+        self.obs = getattr(locality.runtime, "obs", None)
 
     def _qlock(self, dest: int) -> SpinLock:
         lk = self._queue_locks.get(dest)
@@ -78,8 +80,13 @@ class ParcelLayer:
     # -- immediate path ---------------------------------------------------------
     def _put_immediate(self, worker: "Worker", parcel: Parcel):
         pp = self.locality.parcelport
+        sp = None if self.obs is None else self.obs.begin(
+            "parcel", "serialize", loc=self.locality.lid, tid=worker.name)
         msg = serialize_parcels([parcel], self.cost)
         yield worker.cpu(serialize_cost(msg, self.cost))
+        if self.obs is not None:
+            self.obs.end(sp, mid=msg.mid, parcels=1, bytes=msg.total_bytes,
+                         dest=msg.dest)
         conn = pp.make_connection(parcel.dest)
         while True:
             status = yield from pp.submit_message(
@@ -173,8 +180,13 @@ class ParcelLayer:
         if not parcels:
             yield from self._recycle(worker, conn)
             return
+        sp = None if self.obs is None else self.obs.begin(
+            "parcel", "serialize", loc=self.locality.lid, tid=worker.name)
         msg = serialize_parcels(parcels, self.cost)
         yield worker.cpu(serialize_cost(msg, self.cost))
+        if self.obs is not None:
+            self.obs.end(sp, mid=msg.mid, parcels=len(parcels),
+                         bytes=msg.total_bytes, dest=msg.dest)
         status = yield from pp.submit_message(
             worker, conn, msg, self._on_send_complete)
         if status != SEND_WOULD_BLOCK:
@@ -215,6 +227,9 @@ class ParcelLayer:
         """Overload-shed one parcel (bounded sample + app-visible failure)."""
         fl = self.flow
         self.stats.inc("parcels_shed")
+        if self.obs is not None:
+            self.obs.instant("parcel", "shed", loc=self.locality.lid,
+                             pid=parcel.pid, dest=parcel.dest)
         if fl is not None and len(self.shed_parcels) < fl.shed_sample:
             self.shed_parcels.append(parcel)
         hook = getattr(self.locality.runtime, "on_parcel_failure", None)

@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..faults import FaultInjector, FaultPlan, RetryPolicy
 from ..flow import FlowControlPolicy
 from ..netsim.fabric import Fabric
+from ..obs.spans import SpanRecorder
 from ..sim.core import Event, Simulator
 from ..sim.rng import RngPool
 from ..sim.stats import StatSet
@@ -73,6 +74,10 @@ class Locality:
             # Local invocation: HPX short-circuits the network entirely.
             self._spawn_parcel_task(parcel)
             return
+        obs = self.runtime.obs
+        if obs is not None:
+            obs.instant("parcel", "submit", loc=self.lid, tid=worker.name,
+                        pid=parcel.pid, dest=dest, action=action)
         yield from self.parcel_layer.put_parcel(worker, parcel)
 
     # -- receive upcall (called by the parcelport) ---------------------------
@@ -119,7 +124,8 @@ class HpxRuntime:
                  fault_plan: Optional[FaultPlan] = None,
                  retry_policy: Optional[RetryPolicy] = None,
                  reliable: Optional[bool] = None,
-                 flow_policy: Optional[FlowControlPolicy] = None):
+                 flow_policy: Optional[FlowControlPolicy] = None,
+                 trace: "str | bool | None" = None):
         if n_localities < 1:
             raise ValueError("need at least one locality")
         if n_localities > platform.max_nodes:
@@ -163,8 +169,17 @@ class HpxRuntime:
         self.actions: Dict[str, Callable] = {}
         self.running = True
         self.immediate = immediate
+        #: span recorder (repro.obs); None keeps every instrumentation
+        #: site compiled down to a single ``is not None`` check — a
+        #: traced-off run is byte-identical to a build without repro.obs
+        self.obs: Optional[SpanRecorder] = (
+            SpanRecorder(self.sim, spec=trace) if trace else None)
         self.localities: List[Locality] = [
             Locality(self, lid) for lid in range(n_localities)]
+        if self.obs is not None:
+            self.fabric.obs = self.obs
+            for loc in self.localities:
+                loc.nic.obs = self.obs
         self._pp_factory = parcelport_factory
         self._booted = False
 
@@ -235,6 +250,13 @@ class HpxRuntime:
             loc.sched.notify_all()
 
     # -- reporting -----------------------------------------------------------
+    def metrics(self):
+        """One :class:`~repro.obs.metrics.MetricsRegistry` view over this
+        runtime: fault counters, flow gauges, parcelport/layer/worker
+        stats, and span-derived histograms when tracing is on."""
+        from ..obs.metrics import build_runtime_metrics
+        return build_runtime_metrics(self)
+
     def aggregate_stats(self) -> StatSet:
         total = StatSet("runtime")
         for loc in self.localities:

@@ -90,6 +90,8 @@ class Worker:
         self._weight = locality.platform.thread_weight
         self.stats = StatSet(f"L{locality.lid}.w{core_id}")
         self.name = f"L{locality.lid}/w{core_id}"
+        #: span recorder (None => tracing off, zero overhead)
+        self.obs = getattr(locality.runtime, "obs", None)
 
     # -- time helpers used by task bodies ------------------------------------
     def cpu(self, us: float) -> Timeout:
@@ -130,6 +132,10 @@ class Worker:
         t0 = self.sim.now
         yield lk.acquire()
         self.stats.add("lock_wait_us", self.sim.now - t0)
+        if self.obs is not None and self.sim.now > t0:
+            self.obs.complete("lock", "wait", t0, self.sim.now,
+                              loc=self.locality.lid, tid=self.name,
+                              lock=lk.name)
 
     # -- main loop ----------------------------------------------------------
     def start(self) -> None:

@@ -27,6 +27,7 @@ from typing import Any, Deque, Dict, Optional
 
 from ..netsim.message import NetMsg
 from ..netsim.nic import Nic
+from ..obs.spans import payload_mid
 from ..sim.core import Simulator
 from ..sim.primitives import ContentionMeter, TryLock
 from ..sim.stats import StatSet
@@ -117,6 +118,8 @@ class LciDevice:
         #: optional callable invoked after timer-driven completion signals
         #: (long-send local completions) so idle consumers wake promptly.
         self.notify = None
+        #: span recorder (None => tracing off, zero overhead)
+        self.obs = None
 
     # ------------------------------------------------------------------
     # send-side primitives (generators, worker context)
@@ -273,6 +276,7 @@ class LciDevice:
             self._last_caller = caller
         mult = min(mult, p.max_contention_mult)
         self.stats.inc("progress_calls")
+        t0 = self.sim.now
         yield worker.cpu(p.progress_base_us * mult)
         handled = 0
         try:
@@ -281,10 +285,20 @@ class LciDevice:
                 if msg is None:
                     break
                 yield worker.cpu(self.nic.params.rx_overhead_us * mult)
+                if self.obs is not None:
+                    mid, part = payload_mid(msg.kind, msg.payload)
+                    self.obs.instant("progress", "poll", loc=self.rank,
+                                     tid=worker.name, msg_id=msg.msg_id,
+                                     mid=mid, part=part, kind=msg.kind,
+                                     rx_wait=self.sim.now - msg.arrive_t)
                 yield from self._dispatch(worker, msg, mult)
                 handled += 1
         finally:
             self.progress_lock.release()
+        if self.obs is not None:
+            self.obs.complete("progress", "lci", t0, self.sim.now,
+                              loc=self.rank, tid=worker.name,
+                              handled=handled, vchan=self.vchan)
         if handled:
             self.stats.inc("msgs_progressed", handled)
         return handled

@@ -25,6 +25,7 @@ from typing import Any, Deque, List, Optional, Tuple
 
 from ..faults import TransportError
 from ..netsim.message import NetMsg
+from ..obs.spans import payload_mid
 from ..netsim.nic import Nic
 from ..sim.core import Simulator
 from ..sim.primitives import SpinLock
@@ -57,6 +58,17 @@ class MpiComm:
         #: caller's path (timer-driven rendezvous completions) — used to
         #: wake idle workers so completions are observed promptly.
         self.notify = None
+        #: span recorder (None => tracing off, zero overhead)
+        self.obs = None
+
+    def _obs_lock_span(self, worker, t_req: float, t_acq: float) -> None:
+        """One ``progress/mpi`` hold span: [acquire, release] of the big
+        progress lock, with the preceding wait as a field — together they
+        cover the caller's whole trip through the engine (the convoy the
+        paper profiles)."""
+        self.obs.complete("progress", "mpi", t_acq, self.sim.now,
+                          loc=self.rank, tid=worker.name,
+                          wait_us=t_acq - t_req)
 
     # ------------------------------------------------------------------
     # public API (generators, worker context)
@@ -67,7 +79,9 @@ class MpiComm:
         p = self.params
         req = Request("send", dst, size, tag)
         req.posted_t = self.sim.now
+        t_req = self.sim.now
         yield from worker.lock(self.progress_lock)
+        t_acq = self.sim.now
         yield worker.cpu(p.post_op_us)
         wire_size = size + p.wire_header_bytes
         if size <= p.eager_threshold:
@@ -89,6 +103,8 @@ class MpiComm:
                 kind="mpi_rts", tag=tag, payload=(req, size, payload)))
             yield worker.cpu(post_cost)
             self.stats.inc("rndv_sends")
+        if self.obs is not None:
+            self._obs_lock_span(worker, t_req, t_acq)
         self.progress_lock.release()
         return req
 
@@ -101,7 +117,9 @@ class MpiComm:
         p = self.params
         req = Request("recv", src, size, tag, ctx=ctx)
         req.posted_t = self.sim.now
+        t_req = self.sim.now
         yield from worker.lock(self.progress_lock)
+        t_acq = self.sim.now
         yield worker.cpu(p.post_op_us)
         entry, scanned = self._match_unexpected(src, tag)
         if scanned:
@@ -118,6 +136,8 @@ class MpiComm:
                 yield from self._send_cts(worker, entry.src, sreq, req)
         else:
             self.posted.append(req)
+        if self.obs is not None:
+            self._obs_lock_span(worker, t_req, t_acq)
         self.progress_lock.release()
         return req
 
@@ -128,9 +148,13 @@ class MpiComm:
         "the vast majority of time" in: every invocation takes the big
         lock and polls.
         """
+        t_req = self.sim.now
         yield from worker.lock(self.progress_lock)
+        t_acq = self.sim.now
         yield from self._progress_locked(worker)
         done = req.done
+        if self.obs is not None:
+            self._obs_lock_span(worker, t_req, t_acq)
         self.progress_lock.release()
         return done
 
@@ -139,8 +163,12 @@ class MpiComm:
         ``MPI_Test`` amounts to when it has no request of its own): take
         the big lock, poll, release.  Under traffic this is where the
         convoy forms."""
+        t_req = self.sim.now
         yield from worker.lock(self.progress_lock)
+        t_acq = self.sim.now
         yield from self._progress_locked(worker)
+        if self.obs is not None:
+            self._obs_lock_span(worker, t_req, t_acq)
         self.progress_lock.release()
 
     # ------------------------------------------------------------------
@@ -167,6 +195,12 @@ class MpiComm:
             if msg is None:
                 break
             yield worker.cpu(net.rx_overhead_us)
+            if self.obs is not None:
+                mid, part = payload_mid(msg.kind, msg.payload)
+                self.obs.instant("progress", "poll", loc=self.rank,
+                                 tid=worker.name, msg_id=msg.msg_id,
+                                 mid=mid, part=part, kind=msg.kind,
+                                 rx_wait=self.sim.now - msg.arrive_t)
             kind = msg.kind
             if msg.corrupted:
                 yield from self._handle_corrupted(worker, msg)

@@ -32,6 +32,8 @@ class Fabric:
         #: optional fault injector consulted on every transmit; None (the
         #: default) keeps the fabric byte-identical to a fault-free build
         self.injector: Optional["FaultInjector"] = None
+        #: span recorder (None => tracing off, zero overhead)
+        self.obs = None
 
     def add_node(self, node_id: int) -> Nic:
         """Create and attach the NIC for ``node_id``."""
@@ -61,10 +63,14 @@ class Fabric:
             verdict = self.injector.on_transmit(msg)
             if verdict == "drop":
                 self.stats.inc("dropped_msgs")
+                if self.obs is not None:
+                    self.obs.wire_fault(msg, "drop")
                 return
             if verdict == "corrupt":
                 msg.corrupted = True
                 self.stats.inc("corrupted_msgs")
+                if self.obs is not None:
+                    self.obs.wire_fault(msg, "corrupt")
         wire = 0.0 if msg.dst == msg.src else self.params.wire_latency_us
         arrive_t = tx_done_t + wire
         self.sim.schedule_call(arrive_t - self.sim.now,

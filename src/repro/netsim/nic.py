@@ -47,6 +47,8 @@ class Nic:
         #: locality scheduler to wake an idle worker — models HPX's polling
         #: noticing traffic without simulating every idle spin).
         self.on_deliver = None
+        #: span recorder (None => tracing off, zero overhead)
+        self.obs = None
 
     # -- send side ---------------------------------------------------------
     def post_send(self, msg: NetMsg) -> float:
@@ -105,6 +107,8 @@ class Nic:
                     lambda: self.deliver(msg, redelivery=True))
                 return
         msg.arrive_t = self.sim.now
+        if self.obs is not None:
+            self.obs.wire_arrival(msg, self.node_id)
         self.ensure_vchans(msg.vchan + 1)
         self.rx_rings[msg.vchan].append(msg)
         self.stats.inc("rx_msgs")

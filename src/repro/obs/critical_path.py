@@ -1,0 +1,265 @@
+"""Critical-path analysis: where does a parcel's latency actually go?
+
+Given a traced run, this module reconstructs every delivered message's
+lifecycle chain and decomposes its end-to-end latency into the stages
+the paper argues about (Fig. 7's runtime breakdown):
+
+``serialize``
+    CPU time spent flattening parcels into an :class:`HpxMessage`.
+``backlog_wait``
+    Time the message sat in the flow-control backlog waiting for credit.
+``sender_post``
+    Sender-side posting work between serialization and the header hitting
+    the wire (connection setup, packet-pool acquisition, tag assignment).
+``wire``
+    Fabric time of the header leg (injection → arrival at the receiver).
+``progress_lock_wait``
+    Receiver-window time spent under (or waiting on) the MPI progress
+    lock — the paper's "spinning on the blocking lock of ucp_progress"
+    pathology.  Computed as the overlap between the receive window
+    [header arrival, delivery] and the merged hold∪wait intervals of the
+    destination's ``progress/mpi`` spans.
+``progress_poll``
+    The LCI analogue: overlap with the destination's ``progress/lci``
+    spans (lock-free polling of CQs/sync objects).
+``rx_other``
+    The remainder of the receive window: deserialization, handler
+    scheduling, chunk transfers not already covered.
+
+The components of one message sum exactly to its delivery latency
+(t_delivered − t_serialize_start), so aggregate totals can never exceed
+total virtual time × localities.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .spans import Span, SpanRecorder
+
+__all__ = ["Chain", "CriticalPathReport", "build_chains", "analyze"]
+
+#: decomposition stages, in causal order
+STAGES = ("serialize", "backlog_wait", "sender_post", "wire",
+          "progress_lock_wait", "progress_poll", "rx_other")
+
+
+class Chain:
+    """One message's causally-ordered lifecycle records + decomposition."""
+
+    __slots__ = ("mid", "spans", "t_ser0", "t_ser1", "t_inject", "t_arrive",
+                 "t_delivered", "src", "dst", "parts", "retransmits",
+                 "fallback", "components")
+
+    def __init__(self, mid: int, spans: List[Span]):
+        self.mid = mid
+        self.spans = sorted(spans, key=lambda sp: (sp.t0, sp.sid))
+        self.t_ser0: Optional[float] = None
+        self.t_ser1: Optional[float] = None
+        self.t_inject: Optional[float] = None
+        self.t_arrive: Optional[float] = None
+        self.t_delivered: Optional[float] = None
+        self.src = -1
+        self.dst = -1
+        self.parts: List[str] = []
+        self.retransmits = 0
+        self.fallback = False
+        self.components: Dict[str, float] = {}
+
+    @property
+    def complete(self) -> bool:
+        return (self.t_ser0 is not None and self.t_arrive is not None
+                and self.t_delivered is not None)
+
+    @property
+    def latency(self) -> float:
+        if self.t_ser0 is None or self.t_delivered is None:
+            return 0.0
+        return self.t_delivered - self.t_ser0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Chain mid={self.mid} L{self.src}->L{self.dst} "
+                f"lat={self.latency:.3f}us spans={len(self.spans)} "
+                f"retx={self.retransmits}>")
+
+
+def _merge_intervals(ivs: List[Tuple[float, float]]
+                     ) -> List[Tuple[float, float]]:
+    if not ivs:
+        return []
+    ivs = sorted(ivs)
+    out = [ivs[0]]
+    for lo, hi in ivs[1:]:
+        plo, phi = out[-1]
+        if lo <= phi:
+            out[-1] = (plo, max(phi, hi))
+        else:
+            out.append((lo, hi))
+    return out
+
+
+def _overlap(window: Tuple[float, float],
+             ivs: List[Tuple[float, float]]) -> float:
+    w0, w1 = window
+    total = 0.0
+    for lo, hi in ivs:
+        if hi <= w0:
+            continue
+        if lo >= w1:
+            break
+        total += min(hi, w1) - max(lo, w0)
+    return total
+
+
+def build_chains(recorder: SpanRecorder) -> Dict[int, Chain]:
+    """Group mid-correlated spans into per-message lifecycle chains and
+    extract the causal anchor timestamps from each."""
+    chains: Dict[int, Chain] = {}
+    for mid, spans in recorder.by_mid().items():
+        ch = Chain(mid, spans)
+        for sp in ch.spans:
+            key = (sp.cat, sp.name)
+            if sp.cat == "parcel" and sp.name == "serialize":
+                if ch.t_ser0 is None:
+                    ch.t_ser0 = sp.t0
+                    ch.t_ser1 = sp.t1 if sp.t1 is not None else sp.t0
+                    ch.src = sp.loc
+            elif sp.cat == "wire":
+                if sp.kind == "span":
+                    ch.parts.append(str(sp.fields.get("part", "?")))
+                    if sp.fields.get("part") == "hdr" and ch.t_inject is None:
+                        ch.t_inject = sp.t0
+                        ch.t_arrive = sp.t1
+                        ch.dst = int(sp.fields.get("dst", -1))
+            elif key == ("msg", "delivered"):
+                if ch.t_delivered is None:
+                    ch.t_delivered = sp.t0
+                    if ch.dst < 0:
+                        ch.dst = sp.loc
+            elif key == ("msg", "retransmit"):
+                ch.retransmits += 1
+            elif key == ("msg", "eager_fallback"):
+                ch.fallback = True
+        chains[mid] = ch
+    return chains
+
+
+def _decompose(ch: Chain, lock_ivs: Dict[int, List[Tuple[float, float]]],
+               poll_ivs: Dict[int, List[Tuple[float, float]]],
+               backlog: Dict[int, float]) -> None:
+    """Fill ``ch.components`` (sums exactly to ``ch.latency``)."""
+    comp = {s: 0.0 for s in STAGES}
+    if not ch.complete:
+        ch.components = comp
+        return
+    comp["serialize"] = (ch.t_ser1 or ch.t_ser0) - ch.t_ser0
+    bl = min(backlog.get(ch.mid, 0.0),
+             max(0.0, ch.t_inject - (ch.t_ser1 or ch.t_ser0)))
+    comp["backlog_wait"] = bl
+    comp["sender_post"] = max(
+        0.0, ch.t_inject - (ch.t_ser1 or ch.t_ser0) - bl)
+    comp["wire"] = ch.t_arrive - ch.t_inject
+    rx = (ch.t_arrive, ch.t_delivered)
+    if rx[1] > rx[0]:
+        lock = _overlap(rx, lock_ivs.get(ch.dst, []))
+        remaining_ivs = poll_ivs.get(ch.dst, [])
+        poll = _overlap(rx, remaining_ivs)
+        # lock and poll intervals come from disjoint transports, but clamp
+        # anyway so the residual can never go negative
+        span = rx[1] - rx[0]
+        lock = min(lock, span)
+        poll = min(poll, span - lock)
+        comp["progress_lock_wait"] = lock
+        comp["progress_poll"] = poll
+        comp["rx_other"] = span - lock - poll
+    ch.components = comp
+
+
+class CriticalPathReport:
+    """Aggregate decomposition over every complete chain of a run."""
+
+    def __init__(self, chains: Dict[int, Chain], wall_us: float):
+        self.chains = chains
+        self.wall_us = wall_us
+        done = [c for c in chains.values() if c.complete]
+        self.n_complete = len(done)
+        self.n_total = len(chains)
+        self.totals: Dict[str, float] = {s: 0.0 for s in STAGES}
+        self.total_latency = 0.0
+        self.retransmits = sum(c.retransmits for c in chains.values())
+        for c in done:
+            for s in STAGES:
+                self.totals[s] += c.components.get(s, 0.0)
+            self.total_latency += c.latency
+
+    def shares(self) -> Dict[str, float]:
+        """Each stage's share of total delivery latency (0..1)."""
+        if self.total_latency <= 0.0:
+            return {s: 0.0 for s in STAGES}
+        return {s: self.totals[s] / self.total_latency for s in STAGES}
+
+    @property
+    def dominant(self) -> str:
+        """The stage carrying the most aggregate latency."""
+        return max(STAGES, key=lambda s: self.totals[s])
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "chains": self.n_total,
+            "complete": self.n_complete,
+            "retransmits": self.retransmits,
+            "wall_us": self.wall_us,
+            "total_latency_us": self.total_latency,
+            "dominant": self.dominant,
+            "totals_us": dict(self.totals),
+            "shares": self.shares(),
+        }
+
+    def render(self) -> str:
+        lines = [f"critical path over {self.n_complete}/{self.n_total} "
+                 f"delivered messages "
+                 f"(wall {self.wall_us:.1f}us, "
+                 f"retransmits {self.retransmits})"]
+        shares = self.shares()
+        for s in STAGES:
+            bar = "#" * int(round(40 * shares[s]))
+            lines.append(f"  {s:<18} {self.totals[s]:>12.1f}us "
+                         f"{100 * shares[s]:6.2f}%  {bar}")
+        lines.append(f"  {'total':<18} {self.total_latency:>12.1f}us "
+                     f"(dominant: {self.dominant})")
+        return "\n".join(lines)
+
+
+def analyze(recorder: SpanRecorder) -> CriticalPathReport:
+    """Build chains, decompose each, and aggregate into a report."""
+    chains = build_chains(recorder)
+
+    # Receiver-side interval indexes, per locality.  MPI hold spans carry
+    # the preceding wait in their ``wait_us`` field: the blocked interval
+    # [t_acq - wait, t_acq] is part of the same convoy, so hold and wait
+    # merge into one "stuck behind the progress lock" interval.
+    lock_ivs: Dict[int, List[Tuple[float, float]]] = {}
+    for sp in recorder.query(cat="progress", name="mpi"):
+        if sp.t1 is None:
+            continue
+        wait = float(sp.fields.get("wait_us", 0.0) or 0.0)
+        lock_ivs.setdefault(sp.loc, []).append((sp.t0 - wait, sp.t1))
+    for loc in lock_ivs:
+        lock_ivs[loc] = _merge_intervals(lock_ivs[loc])
+
+    poll_ivs: Dict[int, List[Tuple[float, float]]] = {}
+    for sp in recorder.query(cat="progress", name="lci"):
+        if sp.t1 is not None:
+            poll_ivs.setdefault(sp.loc, []).append((sp.t0, sp.t1))
+    for loc in poll_ivs:
+        poll_ivs[loc] = _merge_intervals(poll_ivs[loc])
+
+    backlog: Dict[int, float] = {}
+    for sp in recorder.query(cat="flow", name="backlog_wait"):
+        if sp.t1 is not None and sp.fields.get("mid") is not None:
+            mid = sp.fields["mid"]
+            backlog[mid] = backlog.get(mid, 0.0) + sp.dur
+
+    for ch in chains.values():
+        _decompose(ch, lock_ivs, poll_ivs, backlog)
+    return CriticalPathReport(chains, recorder.sim.now)

@@ -131,6 +131,13 @@ class Parcelport(abc.ABC):
         if (self.flow is not None and self.reliability is not None
                 and self.flow.credit_window):
             self.reliability.set_credit_window(self.flow.credit_window)
+        #: span recorder (None => tracing off, zero overhead)
+        self.obs = getattr(runtime, "obs", None)
+        #: open backlog-wait spans, keyed by message mid
+        self._obs_backlog: Dict[int, Any] = {}
+        if self.reliability is not None:
+            self.reliability.obs = self.obs
+            self.reliability.loc = locality.lid
 
     # -- upper-layer interface ------------------------------------------------
     def make_connection(self, dest: int) -> Connection:
@@ -187,6 +194,12 @@ class Parcelport(abc.ABC):
         if fl.max_backlog and len(q) >= fl.max_backlog:
             self.stats.inc("backlog_refusals")
             return SEND_WOULD_BLOCK
+        if self.obs is not None:
+            sp = self.obs.begin("flow", "backlog_wait",
+                                loc=self.locality.lid, tid=worker.name,
+                                mid=msg.mid, dest=dest)
+            if sp is not None:
+                self._obs_backlog[msg.mid] = sp
         q.append((conn, msg, on_complete))
         self._backlog_total += 1
         if self._backlog_total > self.backlog_peak:
@@ -233,6 +246,8 @@ class Parcelport(abc.ABC):
                         break
                     conn, msg, cb = q.popleft()
                     self._backlog_total -= 1
+                    if self.obs is not None:
+                        self.obs.end(self._obs_backlog.pop(msg.mid, None))
                     if credits_on:
                         rel.consume_credit(dest)
                         msg.credited = True
@@ -260,6 +275,9 @@ class Parcelport(abc.ABC):
     def _finish(self, worker: Worker, conn: Connection):
         """Run the completion continuation of a finished sender chain."""
         self.stats.inc("sends_completed")
+        if self.obs is not None and conn.msg is not None:
+            self.obs.instant("msg", "send_done", loc=self.locality.lid,
+                             tid=worker.name, mid=conn.msg.mid)
         if self.reliability is not None:
             # The conn may be recycled now; stop aborting it on retransmit.
             self.reliability.note_local_done(conn)
@@ -273,6 +291,10 @@ class Parcelport(abc.ABC):
     def _deliver(self, msg: HpxMessage) -> None:
         """Hand a fully received HPX message to the runtime."""
         self.stats.inc("messages_delivered")
+        if self.obs is not None:
+            self.obs.instant("msg", "delivered", loc=self.locality.lid,
+                             mid=msg.mid, src=msg.src,
+                             parcels=msg.num_parcels)
         self.locality.on_message(msg)
 
     # -- reliability machinery (active only under fault injection) -----------
@@ -292,9 +314,17 @@ class Parcelport(abc.ABC):
             return
         if rel.is_dup(msg.src, seq):
             self.stats.inc("dup_deliveries")
+            if self.obs is not None:
+                self.obs.instant("msg", "dup_delivery",
+                                 loc=self.locality.lid, mid=msg.mid,
+                                 seq=seq)
         else:
             rel.record_delivery(msg.src, seq)
             self._deliver(msg)
+        if self.obs is not None:
+            self.obs.instant("msg", "ack_sent", loc=self.locality.lid,
+                             tid=worker.name, mid=msg.mid, seq=seq,
+                             dest=msg.src)
         yield from self._send_ack(worker, msg.src, seq)
 
     def _send_ack(self, worker: Worker, dst: int, seq: int):
@@ -332,6 +362,10 @@ class Parcelport(abc.ABC):
     def _fail_send(self, worker: Worker, entry):
         """Generator: retries exhausted — report the message as failed."""
         self.stats.inc("sends_failed")
+        if self.obs is not None:
+            self.obs.instant("msg", "failed", loc=self.locality.lid,
+                             tid=worker.name, mid=entry.msg.mid,
+                             seq=entry.seq, attempts=entry.attempts)
         if entry.conn is not None:
             res = self._abort_send_conn(worker, entry.conn)
             if res is not None:
@@ -360,6 +394,10 @@ class Parcelport(abc.ABC):
                 continue
             entry.attempts += 1
             self.stats.inc("retransmits")
+            if self.obs is not None:
+                self.obs.instant("msg", "retransmit", loc=self.locality.lid,
+                                 tid=worker.name, mid=entry.msg.mid,
+                                 seq=entry.seq, attempt=entry.attempts)
             if entry.conn is not None:
                 res = self._abort_send_conn(worker, entry.conn)
                 if res is not None:

@@ -96,6 +96,8 @@ class LciParcelport(Parcelport):
         self.tags = TagAllocator(self.sim, LCI_MAX_TAG)
         self._sys = DetachedWorker(locality, name="lci_boot")
         self._progress_worker = DetachedWorker(locality, name="lci_progress")
+        for dev in self.devices:
+            dev.obs = self.obs
 
     # ------------------------------------------------------------------
     # boot
@@ -187,6 +189,9 @@ class LciParcelport(Parcelport):
         the policy ceiling instead of hammering a dry pool.
         """
         self.stats.inc("pool_retries")
+        if self.obs is not None:
+            self.obs.instant("flow", "pool_retry", loc=self.locality.lid,
+                             tid=worker.name, attempt=attempt)
         fl = self.flow
         if fl is None:
             yield self.sim.timeout(RETRY_US)
@@ -212,6 +217,11 @@ class LciParcelport(Parcelport):
         # ends must agree on (the header carries the raw value).
         conn.tag_raw = yield from self.tags.draw(worker, max(1, n))
         device = self._device_for(conn.tag_raw)
+        if self.obs is not None:
+            self.obs.instant("msg", "send", loc=self.locality.lid,
+                             tid=worker.name, mid=msg.mid, dest=msg.dest,
+                             proto=self.protocol, chunks=n,
+                             bytes=msg.total_bytes)
         if self.reliability is not None:
             # Fresh sends get a seq + in-flight entry; retransmits (seq
             # already set) just re-attach their entry to this connection.
@@ -271,7 +281,8 @@ class LciParcelport(Parcelport):
             while True:
                 ok = yield from device.sendm(
                     worker, conn.dest, size, tag, comp,
-                    ctx=("send", conn), payload=("chunk", kind))
+                    ctx=("send", conn),
+                    payload=("chunk", kind, conn.msg.mid))
                 if ok:
                     break
                 if fl is not None \
@@ -280,6 +291,11 @@ class LciParcelport(Parcelport):
                     # rendezvous path, which needs no pool packet (the
                     # receiver's posted eager receive matches the RTS).
                     self.stats.inc("eager_fallbacks")
+                    if self.obs is not None:
+                        self.obs.instant("msg", "eager_fallback",
+                                         loc=self.locality.lid,
+                                         tid=worker.name,
+                                         mid=conn.msg.mid, size=size)
                     use_rendezvous = True
                     break
                 yield from self._pool_wait(worker, attempt)
@@ -289,8 +305,13 @@ class LciParcelport(Parcelport):
         if use_rendezvous:
             yield from device.sendl(worker, conn.dest, size, tag, comp,
                                     ctx=("send", conn),
-                                    payload=("chunk", kind))
+                                    payload=("chunk", kind, conn.msg.mid))
         self.stats.inc("chunk_sends")
+        if self.obs is not None:
+            self.obs.instant("chunk", "posted", loc=self.locality.lid,
+                             tid=worker.name, mid=conn.msg.mid, kind=kind,
+                             size=size, stage=conn.stage,
+                             rndv=use_rendezvous)
 
     # ------------------------------------------------------------------
     # receive path
@@ -333,6 +354,11 @@ class LciParcelport(Parcelport):
             yield from device.recvl(worker, tag, size, comp,
                                     ctx=("recv", conn))
         self.stats.inc("chunk_recvs")
+        if self.obs is not None:
+            self.obs.instant("chunk", "recv_posted",
+                             loc=self.locality.lid, tid=worker.name,
+                             mid=conn.msg.mid, kind=kind, size=size,
+                             stage=conn.stage)
 
     # ------------------------------------------------------------------
     # completion dispatch

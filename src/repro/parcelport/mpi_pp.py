@@ -83,6 +83,7 @@ class MpiParcelport(Parcelport):
         # Wake sleeping workers when timer-driven completions land
         # (rendezvous sends finishing after NIC drain).
         self.mpi.notify = locality.sched.notify
+        self.mpi.obs = self.obs
         self.max_header = (ORIGINAL_MAX_HEADER if self.original
                            else self.cost.max_header_size)
 
@@ -126,6 +127,11 @@ class MpiParcelport(Parcelport):
             # already set) just re-attach their entry to this connection.
             self.reliability.track(msg, conn)
             conn.seq = msg.seq
+        if self.obs is not None:
+            self.obs.instant("msg", "send", loc=self.locality.lid,
+                             tid=worker.name, mid=msg.mid, dest=msg.dest,
+                             proto="mpi", chunks=len(plan.followups),
+                             bytes=msg.total_bytes)
         # Build the header: the improved variant allocates it dynamically,
         # the original uses a fixed 512 B stack buffer (no alloc, but the
         # full 512 B always go on the wire).
@@ -156,9 +162,14 @@ class MpiParcelport(Parcelport):
         kind, size = conn.plan[conn.stage]
         conn.stage += 1
         req = yield from self.mpi.isend(
-            worker, conn.dest, size, conn.tag, payload=("chunk", kind))
+            worker, conn.dest, size, conn.tag,
+            payload=("chunk", kind, conn.msg.mid))
         conn.cur = req
         self.stats.inc("chunk_sends")
+        if self.obs is not None:
+            self.obs.instant("chunk", "posted", loc=self.locality.lid,
+                             tid=worker.name, mid=conn.msg.mid, kind=kind,
+                             size=size, stage=conn.stage)
         yield from self._enqueue_pending(worker, conn)
 
     # ------------------------------------------------------------------
@@ -208,6 +219,11 @@ class MpiParcelport(Parcelport):
         req = yield from self.mpi.irecv(worker, conn.src, size, conn.tag)
         conn.cur = req
         self.stats.inc("chunk_recvs")
+        if self.obs is not None:
+            self.obs.instant("chunk", "recv_posted",
+                             loc=self.locality.lid, tid=worker.name,
+                             mid=conn.msg.mid, kind=kind, size=size,
+                             stage=conn.stage)
         yield from self._enqueue_pending(worker, conn)
 
     def _send_release(self, worker, dst: int, tag: int):

@@ -88,6 +88,9 @@ class ReliabilityLayer:
         self._seen: Set[Tuple[int, int]] = set()
         self._watched: Dict[int, "Connection"] = {}
         self._recv_heap: List[Tuple[float, int]] = []
+        # span recorder + owning locality (wired by the parcelport)
+        self.obs: Optional[Any] = None
+        self.loc = -1
 
     # ------------------------------------------------------------------
     # credit-based flow control (piggybacked on the ack protocol)
@@ -187,6 +190,9 @@ class ReliabilityLayer:
         entry = self._table.pop(seq, None)
         if entry is not None:
             self.stats.inc("acks_received")
+            if self.obs is not None:
+                self.obs.instant("msg", "acked", loc=self.loc,
+                                 mid=entry.msg.mid, seq=seq)
             if entry.credited:
                 entry.credited = False
                 self._release_credit(entry.msg.dest)

@@ -12,7 +12,29 @@ import math
 from collections import defaultdict
 from typing import Dict, List, Tuple
 
-__all__ = ["StatSet", "TimeSeries", "summarize"]
+__all__ = ["StatSet", "TimeSeries", "percentile", "summarize"]
+
+
+def percentile(values: List[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) by linear interpolation.
+
+    Matches numpy's default ("linear") method so histogram metrics and
+    ad-hoc report scripts agree on the same numbers.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if not values:
+        return 0.0
+    vals = sorted(values)
+    if len(vals) == 1:
+        return vals[0]
+    rank = (q / 100.0) * (len(vals) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return vals[lo]
+    frac = rank - lo
+    return vals[lo] * (1.0 - frac) + vals[hi] * frac
 
 
 class TimeSeries:
@@ -36,6 +58,19 @@ class TimeSeries:
     def max(self) -> float:
         vals = self.values()
         return max(vals) if vals else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of the recorded values."""
+        return percentile(self.values(), q)
+
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    def p90(self) -> float:
+        return self.percentile(90.0)
+
+    def p99(self) -> float:
+        return self.percentile(99.0)
 
     def __len__(self) -> int:
         return len(self.samples)

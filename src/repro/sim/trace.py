@@ -33,7 +33,15 @@ class TraceEvent:
 
 
 class Tracer:
-    """Bounded in-memory trace with category filtering."""
+    """Bounded in-memory trace with category filtering.
+
+    .. deprecated::
+        New instrumentation should use :class:`repro.obs.SpanRecorder`,
+        which adds begin/end spans, correlation IDs and exporters.  The
+    legacy ``emit`` API is kept as a shim: attach a recorder with
+    :meth:`bridge_to` and every emitted event is forwarded as an
+    instant span (category/text/fields preserved).
+    """
 
     def __init__(self, sim: Simulator, capacity: int = 10000,
                  enabled: bool = False):
@@ -42,16 +50,29 @@ class Tracer:
         self.enabled = enabled
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._categories: Optional[set] = None   # None = everything
+        self._recorder: Optional[Any] = None
         self.dropped = 0
 
     # -- configuration -------------------------------------------------------
     def enable(self, categories: Optional[Iterable[str]] = None) -> None:
-        """Turn tracing on, optionally restricted to some categories."""
+        """Turn tracing on, optionally restricted to some categories.
+
+        ``None`` means *all* categories; an empty iterable means *none*
+        (every emit is filtered out) — the two are deliberately distinct.
+        """
         self.enabled = True
-        self._categories = set(categories) if categories else None
+        self._categories = None if categories is None else set(categories)
 
     def disable(self) -> None:
         self.enabled = False
+
+    def bridge_to(self, recorder: Optional[Any]) -> None:
+        """Forward future emits to a :class:`repro.obs.SpanRecorder`.
+
+        The recorder applies its own category filter on top of this
+        tracer's; pass ``None`` to detach.
+        """
+        self._recorder = recorder
 
     # -- recording -----------------------------------------------------------
     def emit(self, category: str, text: str, **fields: Any) -> None:
@@ -63,6 +84,8 @@ class Tracer:
             self.dropped += 1
         self._events.append(TraceEvent(self.sim.now, category, text,
                                        fields))
+        if self._recorder is not None:
+            self._recorder.instant(category, text, **fields)
 
     # -- querying ---------------------------------------------------------
     def events(self, category: Optional[str] = None,

@@ -9,6 +9,11 @@ from .latency import LatencyParams, LatencyResult, run_latency
 from .message_rate import (MessageRateParams, MessageRateResult,
                            run_message_rate)
 from .octotiger_bench import OctoTigerBenchParams, run_octotiger
+from .parallel import (ExecutionPolicy, PointTask, ResultCache,
+                       code_fingerprint, evaluate_point, execution,
+                       latency_task, message_rate_task, octotiger_task,
+                       run_points, set_policy)
+from .perfbench import bench_figures, bench_kernel, run_perf, validate_bench
 from .profiling import format_breakdown, lock_report, runtime_breakdown
 from .sweep import SweepResult, SweepSpec, run_sweep
 from .calibration import check_calibration, format_calibration
@@ -23,6 +28,11 @@ __all__ = [
     "LatencyParams", "LatencyResult", "run_latency",
     "MessageRateParams", "MessageRateResult", "run_message_rate",
     "OctoTigerBenchParams", "run_octotiger",
+    "PointTask", "ResultCache", "ExecutionPolicy",
+    "code_fingerprint", "evaluate_point", "execution",
+    "message_rate_task", "latency_task", "octotiger_task",
+    "run_points", "set_policy",
+    "bench_kernel", "bench_figures", "run_perf", "validate_bench",
     "runtime_breakdown", "format_breakdown", "lock_report",
     "SweepSpec", "SweepResult", "run_sweep",
     "validate", "checks_for", "CheckResult",

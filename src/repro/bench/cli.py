@@ -6,6 +6,9 @@ Examples::
     repro-fig fig1            # quick Fig 1 regeneration
     repro-fig fig10 --full    # full Fig 10 sweep
     repro-fig all             # everything (long)
+    repro-fig fig1 --jobs 4   # fan sweep points across 4 worker processes
+    repro-fig fig1 --cache .repro-cache   # reuse cached sweep points
+    repro-fig perf            # wall-clock kernel + figure benchmarks
 """
 
 from __future__ import annotations
@@ -28,14 +31,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Regenerate tables/figures from the LCI-parcelport "
                     "paper inside the simulator.")
     parser.add_argument("figure",
-                        choices=sorted(FIGURES) + ["tables", "all"],
-                        help="which figure to regenerate")
+                        choices=sorted(FIGURES) + ["tables", "all", "perf"],
+                        help="which figure to regenerate ('perf' runs the "
+                             "wall-clock benchmark harness)")
     parser.add_argument("--full", action="store_true",
                         help="run the full (paper-scale) sweep instead of "
                              "the quick one")
     parser.add_argument("--repeats", type=int, default=None,
                         help="repetitions per data point (default: 1 quick,"
                              " 3 full)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="fan independent sweep points across N worker "
+                             "processes (results are identical to "
+                             "sequential; default 1)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="content-addressed result cache directory "
+                             "(default: $REPRO_CACHE_DIR if set; see "
+                             "docs/PERFORMANCE.md)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache even if --cache or "
+                             "$REPRO_CACHE_DIR is set")
+    parser.add_argument("--bench-out", metavar="DIR", default=".",
+                        help="directory for the perf harness's "
+                             "BENCH_*.json files (default: .)")
     parser.add_argument("--no-plot", action="store_true",
                         help="suppress the ASCII chart")
     parser.add_argument("--faults", metavar="SPEC", default=None,
@@ -60,6 +78,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run the figure's EXPERIMENTS.md shape checks "
                              "and set a nonzero exit code on failure")
     args = parser.parse_args(argv)
+
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    from .parallel import policy, set_policy
+    set_policy(jobs=args.jobs, cache_dir=args.cache,
+               no_cache=args.no_cache)
+
+    if args.figure == "perf":
+        from .perfbench import run_perf
+        return run_perf(full=args.full, out_dir=args.bench_out,
+                        jobs=args.jobs)
 
     if args.faults is not None:
         try:
@@ -119,6 +148,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if not check.passed:
                     failures += 1
         print(f"[{name} done in {time.time() - t0:.1f}s wall]\n")
+    cache = policy().cache
+    if cache is not None:
+        st = cache.stats()
+        print(f"[cache {cache.root}: {st['hits']} hits, "
+              f"{st['misses']} misses, {st['stores']} stores]",
+              file=sys.stderr)
     return 1 if failures else 0
 
 

@@ -23,7 +23,8 @@ from ..parcelport import ALL_LCI_VARIANTS, PPConfig, TABLE1
 from .harness import Measurement, Series, repeat
 from .latency import LatencyParams, run_latency
 from .message_rate import MessageRateParams, run_message_rate
-from .octotiger_bench import OctoTigerBenchParams, run_octotiger
+from .parallel import (latency_task, message_rate_task, octotiger_task,
+                       run_points)
 from .reporting import (ascii_plot, format_bar_chart, format_series_table,
                         format_table)
 
@@ -102,20 +103,39 @@ def platform_tables() -> str:
 
 
 # ---------------------------------------------------------------------------
+# sweep plumbing: fan independent points through repro.bench.parallel
+# ---------------------------------------------------------------------------
+def _seeds(repeats: int) -> List[int]:
+    """The exact seed sequence :func:`repro.bench.harness.repeat` uses."""
+    return [1000 + i * 7919 for i in range(repeats)]
+
+
+def _fold(results: Sequence[Dict[str, float]]) -> Dict[str, Measurement]:
+    """Aggregate per-repetition result dicts exactly like ``repeat()``."""
+    acc: Dict[str, List[float]] = {}
+    for out in results:
+        for k, v in out.items():
+            acc.setdefault(k, []).append(float(v))
+    return {k: Measurement(v) for k, v in acc.items()}
+
+
+# ---------------------------------------------------------------------------
 # message-rate figures (Figs 1-6)
 # ---------------------------------------------------------------------------
 def _rate_sweep(configs: Sequence[str], size: int, batch: int, total: int,
                 rates_kps: Sequence[Optional[float]],
                 platform: PlatformSpec, repeats: int) -> List[Series]:
+    seeds = _seeds(repeats)
+    tasks = [message_rate_task(cfg, msg_size=size, batch=batch,
+                               total_msgs=total, inject_rate_kps=rate,
+                               platform=platform, seed=seed)
+             for cfg in configs for rate in rates_kps for seed in seeds]
+    results = iter(run_points(tasks))
     series = []
     for cfg in configs:
         s = Series(label=cfg)
-        for rate in rates_kps:
-            params = MessageRateParams(
-                msg_size=size, batch=batch, total_msgs=total,
-                inject_rate_kps=rate, platform=platform)
-            res = repeat(lambda seed: run_message_rate(cfg, params, seed)
-                         .as_dict(), n=repeats)
+        for _rate in rates_kps:
+            res = _fold([next(results) for _ in seeds])
             s.add(res["achieved_injection_kps"].mean,
                   res["message_rate_kps"])
         series.append(s)
@@ -228,13 +248,16 @@ def fig7(quick: bool = True, repeats: Optional[int] = None,
     repeats = repeats or (1 if quick else 3)
     steps = steps or (20 if quick else 50)
     sizes = _SIZES_QUICK if quick else _SIZES_FULL
+    seeds = _seeds(repeats)
+    tasks = [latency_task(cfg, msg_size=size, window=1, steps=steps,
+                          platform=EXPANSE, seed=seed)
+             for cfg in ALL_CONFIGS for size in sizes for seed in seeds]
+    results = iter(run_points(tasks))
     series = []
     for cfg in ALL_CONFIGS:
         s = Series(label=cfg)
         for size in sizes:
-            params = LatencyParams(msg_size=size, window=1, steps=steps)
-            res = repeat(lambda seed: run_latency(cfg, params, seed)
-                         .as_dict(), n=repeats)
+            res = _fold([next(results) for _ in seeds])
             s.add(size, res["one_way_latency_us"])
         series.append(s)
     return FigureResult("fig7", "Latency vs message size", series,
@@ -248,13 +271,16 @@ def _latency_window_sweep(fig: str, size: int, quick: bool,
     repeats = repeats or (1 if quick else 3)
     steps = steps or (15 if quick else 40)
     windows = [1, 4, 16, 64] if quick else [1, 2, 4, 8, 16, 32, 64]
+    seeds = _seeds(repeats)
+    tasks = [latency_task(cfg, msg_size=size, window=w, steps=steps,
+                          platform=EXPANSE, seed=seed)
+             for cfg in ALL_CONFIGS for w in windows for seed in seeds]
+    results = iter(run_points(tasks))
     series = []
     for cfg in ALL_CONFIGS:
         s = Series(label=cfg)
         for w in windows:
-            params = LatencyParams(msg_size=size, window=w, steps=steps)
-            res = repeat(lambda seed: run_latency(cfg, params, seed)
-                         .as_dict(), n=repeats)
+            res = _fold([next(results) for _ in seeds])
             s.add(w, res["one_way_latency_us"])
         series.append(s)
     return FigureResult(fig, f"Latency vs window size ({size}B)", series,
@@ -283,14 +309,15 @@ def _octotiger_scaling(fig: str, platform: PlatformSpec, paper_level: int,
     configs = ["mpi", "mpi_i", "lci"]  # lci == lci_psr_cq_rp_i (§5)
     resolved = {"lci": "lci_psr_cq_pin_i", "mpi": "mpi", "mpi_i": "mpi_i"}
     series = {c: Series(label=c) for c in configs}
+    seeds = _seeds(repeats)
+    tasks = [octotiger_task(resolved[c], platform=platform,
+                            n_localities=nodes, paper_level=paper_level,
+                            n_steps=n_steps, seed=seed)
+             for nodes in node_counts for c in configs for seed in seeds]
+    results = iter(run_points(tasks))
     for nodes in node_counts:
         for c in configs:
-            params = OctoTigerBenchParams(platform=platform,
-                                          n_localities=nodes,
-                                          paper_level=paper_level,
-                                          n_steps=n_steps)
-            res = repeat(lambda seed: run_octotiger(resolved[c], params,
-                                                    seed), n=repeats)
+            res = _fold([next(results) for _ in seeds])
             series[c].add(nodes, res["steps_per_second"])
     out = list(series.values())
     # relative speedup series, as plotted on the right axis of Figs 10/11
@@ -339,29 +366,31 @@ def ablation_mpi_pp(quick: bool = True, repeats: Optional[int] = None
     """
     repeats = repeats or (1 if quick else 3)
     nodes = 8 if quick else 16
+    seeds = _seeds(repeats)
+    app_tasks = [octotiger_task(cfg, platform=EXPANSE, n_localities=nodes,
+                                paper_level=6, n_steps=1 if quick else 5,
+                                seed=seed)
+                 for cfg in ("mpi", "mpi_orig") for seed in seeds]
+    # microbenchmark side: 8 B message rate, where every parcel is one
+    # header message and the original pays the tag-release round trip and
+    # the fixed 512 B wire header on each
+    rate_tasks = [message_rate_task(cfg, msg_size=8, batch=100,
+                                    total_msgs=2000 if quick else 10000,
+                                    inject_rate_kps=None, platform=EXPANSE,
+                                    seed=seed, max_events=20_000_000)
+                  for cfg in ("mpi", "mpi_orig") for seed in seeds]
+    results = iter(run_points(app_tasks + rate_tasks))
     series = []
     app = {}
     for cfg in ("mpi", "mpi_orig"):
         s = Series(label=cfg)
-        params = OctoTigerBenchParams(platform=EXPANSE, n_localities=nodes,
-                                      paper_level=6,
-                                      n_steps=1 if quick else 5)
-        res = repeat(lambda seed: run_octotiger(cfg, params, seed),
-                     n=repeats)
+        res = _fold([next(results) for _ in seeds])
         s.add(nodes, res["steps_per_second"])
         app[cfg] = res["steps_per_second"].mean
         series.append(s)
-    # microbenchmark side: 8 B message rate, where every parcel is one
-    # header message and the original pays the tag-release round trip and
-    # the fixed 512 B wire header on each
     rate = {}
     for cfg in ("mpi", "mpi_orig"):
-        params = MessageRateParams(msg_size=8, batch=100,
-                                   total_msgs=2000 if quick else 10000,
-                                   inject_rate_kps=None, platform=EXPANSE,
-                                   max_events=20_000_000)
-        res = repeat(lambda seed: run_message_rate(cfg, params, seed)
-                     .as_dict(), n=repeats)
+        res = _fold([next(results) for _ in seeds])
         rate[cfg] = res["message_rate_kps"].mean
     ratio_app = app["mpi"] / app["mpi_orig"] if app["mpi_orig"] else 0.0
     ratio_rate = rate["mpi"] / rate["mpi_orig"] if rate["mpi_orig"] else 0.0

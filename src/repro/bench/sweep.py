@@ -115,30 +115,55 @@ class SweepResult:
         return len(self.rows)
 
 
+def _eval_cell(job: "tuple") -> Dict[str, float]:
+    """Top-level trampoline so grid cells can cross a process boundary."""
+    fn, point, seed = job
+    return fn(**point, seed=seed)
+
+
 def run_sweep(fn: Callable[..., Dict[str, float]], spec: SweepSpec,
-              progress: Optional[Callable[[int, int], None]] = None
-              ) -> SweepResult:
+              progress: Optional[Callable[[int, int], None]] = None,
+              jobs: Optional[int] = None) -> SweepResult:
     """Run ``fn(**point, seed=...)`` over the whole grid.
 
     ``fn`` must return a flat dict of metric name → value.  Each grid
     point runs ``spec.repeats`` times with distinct seeds.
+
+    With ``jobs > 1`` (default: the active
+    :func:`repro.bench.parallel.policy`), independent grid cells fan out
+    over worker processes — ``fn`` must then be a picklable top-level
+    function.  Rows are collected in grid order either way, so the result
+    is identical to a sequential run.
     """
+    from .parallel import policy
+
     points = spec.points()
     result = SweepResult(axes=list(spec.axes))
     total = spec.size
-    done = 0
-    for point in points:
-        for rep in range(spec.repeats):
-            seed = spec.base_seed + rep * 7919
-            measurement = fn(**point, seed=seed)
+    if jobs is None:
+        jobs = policy().jobs
+    cells = [(point, spec.base_seed + rep * 7919)
+             for point in points for rep in range(spec.repeats)]
+
+    def fold(measurements) -> None:
+        for done, ((point, seed), measurement) in enumerate(
+                zip(cells, measurements), start=1):
             row = dict(point)
             row["seed"] = seed
             for k, v in measurement.items():
                 if k in row:
-                    raise ValueError(f"metric {k!r} collides with an axis")
+                    raise ValueError(
+                        f"metric {k!r} collides with an axis")
                 row[k] = v
             result.rows.append(row)
-            done += 1
             if progress is not None:
                 progress(done, total)
+
+    if jobs > 1 and len(cells) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as ex:
+            fold(ex.map(_eval_cell, [(fn, p, s) for p, s in cells],
+                        chunksize=max(1, len(cells) // (jobs * 4))))
+    else:
+        fold(fn(**point, seed=seed) for point, seed in cells)
     return result

@@ -13,6 +13,15 @@ The kernel is intentionally simpy-like (generator-coroutine processes that
   bit-identical schedules.
 * There is no wall-clock coupling anywhere.
 
+The hot paths (``run``, ``Timeout``, ``Process._resume``, ``schedule_call``)
+are hand-optimised — heap pushes inlined, wake records pared down to bare
+``_Wake`` objects, the sequence counter a plain int — under a hard
+determinism contract: the ``(time, priority, seq)`` schedule, the
+``event_count``, and every simulated result are bit-identical to the
+pre-optimisation kernel (kept frozen in :mod:`repro.sim._seed_kernel` and
+compared against in ``tests/test_determinism_kernel.py``).  See
+docs/PERFORMANCE.md for the full catalogue of fast paths.
+
 Example
 -------
 >>> sim = Simulator()
@@ -28,9 +37,8 @@ Example
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Any, Callable, Generator, Iterable, Optional
+from heapq import heappop as _heappop, heappush as _heappush
+from typing import Any, Callable, Generator, Iterable, Optional, Tuple
 
 __all__ = [
     "Event",
@@ -59,6 +67,19 @@ class Interrupt(Exception):
     def __init__(self, cause: Any = None):
         super().__init__(cause)
         self.cause = cause
+
+
+class _Wake:
+    """Bare heap record for internal wake-ups (bootstrap, resume, interrupt).
+
+    Quacks just enough like a processed-event carrier for the run loop
+    (``callbacks``/``processed``) and for :meth:`Process._resume`
+    (``_ok``/``_value``); never escapes the kernel.  Compared to a full
+    :class:`Event` it skips ``sim``/``triggered`` bookkeeping and the
+    ``__init__`` call — call sites assign the three live slots directly.
+    """
+
+    __slots__ = ("callbacks", "_value", "_ok", "processed")
 
 
 class Event:
@@ -98,7 +119,10 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self.triggered = True
         self._value = value
-        self.sim._schedule(self, 0.0, priority)
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        _heappush(sim._heap, (sim.now, priority, seq, self))
         return self
 
     def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
@@ -108,7 +132,10 @@ class Event:
         self.triggered = True
         self._ok = False
         self._value = exc
-        self.sim._schedule(self, 0.0, priority)
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        _heappush(sim._heap, (sim.now, priority, seq, self))
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -130,13 +157,49 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        # Slimmed constructor: Event.__init__ + succeed() fused into direct
+        # slot assignments and one inlined heap push.
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self.triggered = True
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, delay, NORMAL)
+        self._ok = True
+        self.triggered = True
+        self.processed = False
+        self.delay = delay
+        seq = sim._seq
+        sim._seq = seq + 1
+        _heappush(sim._heap, (sim.now + delay, NORMAL, seq, self))
+
+
+class _Call(Event):
+    """A :meth:`Simulator.schedule_call` event: runs ``fn()`` when processed.
+
+    Replaces the seed kernel's ``Timeout + lambda callback`` pair with a
+    single object; the heap tuple it pushes is identical, so schedules are
+    unchanged.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, sim: "Simulator", delay: float,
+                 fn: Callable[[], None]):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.sim = sim
+        self.fn = fn
+        self.callbacks = [self._invoke]
+        self._value = None
+        self._ok = True
+        self.triggered = True
+        self.processed = False
+        seq = sim._seq
+        sim._seq = seq + 1
+        _heappush(sim._heap, (sim.now + delay, NORMAL, seq, self))
+
+    def _invoke(self, _event: Event) -> None:
+        self.fn()
 
 
 class Process(Event):
@@ -148,50 +211,90 @@ class Process(Event):
     with the generator's return value, so processes can wait on each other.
     """
 
-    __slots__ = ("gen", "name", "_target")
+    __slots__ = ("gen", "name", "_target", "_bound_resume")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
-        super().__init__(sim)
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self.triggered = False
+        self.processed = False
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
-        self._target: Optional[Event] = None
-        # Bootstrap: resume once at the current time.
-        boot = Event(sim)
-        boot.triggered = True
-        sim._schedule(boot, 0.0, URGENT)
-        boot.add_callback(self._resume)
+        # One bound method for the whole lifetime instead of a fresh
+        # ``self._resume`` allocation on every suspension.
+        self._bound_resume = self._resume
+        # Bootstrap: resume once at the current time.  The boot record is
+        # the process's initial resume target so stray callbacks can never
+        # start it twice.
+        boot = _Wake()
+        boot._ok = True
+        boot._value = None
+        boot.callbacks = [self._bound_resume]
+        self._target: Any = boot
+        seq = sim._seq
+        sim._seq = seq + 1
+        _heappush(sim._heap, (sim.now, URGENT, seq, boot))
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at the current time."""
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The interrupt is delivered when its wake-up is processed (an URGENT
+        event at the current time).  Detaching from whatever the process is
+        waiting on happens at *delivery* time, which makes the operation
+        race-free:
+
+        * interrupting a process whose wait target has already triggered
+          (but not yet processed) delivers the target's value first, then
+          the interrupt at the next suspension point — the completion is
+          not lost and the stale target can never resume the process a
+          second time;
+        * interrupting a process that has not started yet lets it start
+          normally and receive the interrupt at its first ``yield`` (where
+          it is catchable).
+        """
+        if self.triggered:
+            return
+        sim = self.sim
+        wake = _Wake()
+        wake._ok = False
+        wake._value = Interrupt(cause)
+        wake.callbacks = [self._interrupted]
+        seq = sim._seq
+        sim._seq = seq + 1
+        _heappush(sim._heap, (sim.now, URGENT, seq, wake))
+
+    # -- internal ----------------------------------------------------------
+    def _interrupted(self, wake: _Wake) -> None:
+        """Deliver a pending interrupt: detach from the current wait target
+        (if it can still fire) and throw into the generator."""
         if self.triggered:
             return
         target = self._target
         if target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._bound_resume)
             except ValueError:
                 pass
-        self._target = None
-        wake = Event(self.sim)
-        wake.triggered = True
-        wake._ok = False
-        wake._value = Interrupt(cause)
-        self.sim._schedule(wake, 0.0, URGENT)
-        wake.add_callback(self._resume)
+        self._target = wake
+        self._resume(wake)
 
-    # -- internal ----------------------------------------------------------
-    def _resume(self, trigger: Event) -> None:
-        if self.triggered:
+    def _resume(self, trigger: Any) -> None:
+        # Only the currently registered target may resume the process; a
+        # detached or superseded event's late callback is ignored.  This
+        # closes the seed kernel's interrupt-vs-completion double-resume
+        # race (see tests/test_sim_core.py).
+        if self.triggered or trigger is not self._target:
             return
         self._target = None
         sim = self.sim
         sim._active_process = self
         try:
-            if trigger.ok:
-                nxt = self.gen.send(trigger.value)
+            if trigger._ok:
+                nxt = self.gen.send(trigger._value)
             else:
-                exc = trigger.value
-                nxt = self.gen.throw(exc)
+                nxt = self.gen.throw(trigger._value)
         except StopIteration as stop:
             sim._active_process = None
             self.succeed(stop.value, priority=URGENT)
@@ -206,17 +309,21 @@ class Process(Event):
         if not isinstance(nxt, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded non-event {nxt!r}")
-        if nxt.callbacks is None:
-            # Already processed: resume immediately (at current time).
-            wake = Event(sim)
-            wake.triggered = True
+        cbs = nxt.callbacks
+        if cbs is None:
+            # Already processed: resume immediately (at current time) via a
+            # bare wake record — same heap tuple as the seed kernel's full
+            # Event, minus the allocation and bookkeeping.
+            wake = _Wake()
             wake._ok = nxt._ok
             wake._value = nxt._value
-            sim._schedule(wake, 0.0, URGENT)
-            wake.add_callback(self._resume)
+            wake.callbacks = [self._bound_resume]
             self._target = wake
+            seq = sim._seq
+            sim._seq = seq + 1
+            _heappush(sim._heap, (sim.now, URGENT, seq, wake))
         else:
-            nxt.add_callback(self._resume)
+            cbs.append(self._bound_resume)
             self._target = nxt
 
 
@@ -226,14 +333,26 @@ class _Condition(Event):
     __slots__ = ("events", "_pending")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
-        super().__init__(sim)
-        self.events = list(events)
-        self._pending = len(self.events)
-        if not self.events:
+        # Inlined Event.__init__ (direct slot assignment, like Timeout).
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self.triggered = False
+        self.processed = False
+        self.events = evs = list(events)
+        self._pending = len(evs)
+        if not evs:
             self.succeed({})
             return
-        for ev in self.events:
-            ev.add_callback(self._check)
+        # Inlined add_callback with a single bound-method allocation.
+        check = self._check
+        for ev in evs:
+            cbs = ev.callbacks
+            if cbs is None:
+                check(ev)
+            else:
+                cbs.append(check)
 
     def _check(self, ev: Event) -> None:
         raise NotImplementedError
@@ -251,12 +370,12 @@ class AllOf(_Condition):
     def _check(self, ev: Event) -> None:
         if self.triggered:
             return
-        if not ev.ok:
-            self.fail(ev.value)
+        if not ev._ok:
+            self.fail(ev._value)
             return
         self._pending -= 1
         if self._pending == 0:
-            self.succeed({e: e.value for e in self.events})
+            self.succeed({e: e._value for e in self.events})
 
 
 class AnyOf(_Condition):
@@ -267,10 +386,10 @@ class AnyOf(_Condition):
     def _check(self, ev: Event) -> None:
         if self.triggered:
             return
-        if not ev.ok:
-            self.fail(ev.value)
+        if not ev._ok:
+            self.fail(ev._value)
             return
-        self.succeed((ev, ev.value))
+        self.succeed((ev, ev._value))
 
 
 class Simulator:
@@ -287,7 +406,9 @@ class Simulator:
         self.now: float = 0.0
         self.strict = strict
         self._heap: list = []
-        self._seq = itertools.count()
+        #: next ``(time, priority, seq)`` tie-breaker; a plain int sequence
+        #: (same values as the seed kernel's ``itertools.count``)
+        self._seq: int = 0
         self._active_process: Optional[Process] = None
         self.event_count = 0
 
@@ -312,19 +433,54 @@ class Simulator:
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float, priority: int) -> None:
-        heapq.heappush(self._heap, (self.now + delay, priority,
-                                    next(self._seq), event))
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (self.now + delay, priority, seq, event))
 
     def schedule_call(self, delay: float, fn: Callable[[], None]) -> Event:
         """Run ``fn()`` after ``delay`` µs (no process needed)."""
-        ev = self.timeout(delay)
-        ev.add_callback(lambda _e: fn())
-        return ev
+        return _Call(self, delay, fn)
+
+    def schedule_calls(self,
+                       calls: Iterable[Tuple[float, Callable[[], None]]]
+                       ) -> list:
+        """Batched :meth:`schedule_call`: one ``(delay, fn)`` pair per entry.
+
+        Binds the heap and sequence counter once for the whole batch;
+        returns the scheduled events in input order.
+        """
+        heap = self._heap
+        now = self.now
+        seq = self._seq
+        out = []
+        append = out.append
+        for delay, fn in calls:
+            if delay < 0:
+                self._seq = seq
+                raise ValueError(f"negative delay {delay}")
+            ev = _Call.__new__(_Call)
+            ev.sim = self
+            ev.fn = fn
+            ev.callbacks = [ev._invoke]
+            ev._value = None
+            ev._ok = True
+            ev.triggered = True
+            ev.processed = False
+            _heappush(heap, (now + delay, NORMAL, seq, ev))
+            seq += 1
+            append(ev)
+        self._seq = seq
+        return out
 
     # -- execution -----------------------------------------------------------
     def step(self) -> None:
-        """Process the single next event."""
-        t, _prio, _seq, event = heapq.heappop(self._heap)
+        """Process the single next event.
+
+        Semantically identical to one iteration of :meth:`run` (which
+        inlines this body into its tight loops); kept as the single-step
+        API for tests and schedule tracing.
+        """
+        t, _prio, _seq, event = _heappop(self._heap)
         if t < self.now:
             raise SimulationError("time went backwards")
         self.now = t
@@ -346,7 +502,9 @@ class Simulator:
             reaches it; an :class:`Event` — run until it triggers and return
             its value.
         max_events:
-            Safety valve; raise if more events than this are processed.
+            Safety valve; raise once exactly ``max_events`` events have been
+            processed and more remain (the run may *complete* in exactly
+            ``max_events``).
         """
         stop_event: Optional[Event] = None
         deadline: Optional[float] = None
@@ -357,19 +515,63 @@ class Simulator:
         elif until is not None:
             deadline = float(until)
 
+        heap = self._heap
+        pop = _heappop
+        limit = max_events if max_events is not None else float("inf")
+        now = self.now
         processed = 0
-        while self._heap:
-            if stop_event is not None and stop_event.callbacks is None:
-                break
-            t = self._heap[0][0]
-            if deadline is not None and t > deadline:
-                self.now = deadline
-                break
-            self.step()
-            processed += 1
-            if max_events is not None and processed > max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} (possible livelock)")
+        try:
+            if deadline is None:
+                # Hot path: run to exhaustion or until ``stop_event``
+                # triggers, with the step() body inlined.
+                while heap:
+                    if stop_event is not None \
+                            and stop_event.callbacks is None:
+                        break
+                    if processed >= limit:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} "
+                            f"(possible livelock)")
+                    item = pop(heap)
+                    t = item[0]
+                    if t < now:
+                        raise SimulationError("time went backwards")
+                    self.now = now = t
+                    processed += 1
+                    event = item[3]
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event.processed = True
+                    for cb in callbacks:
+                        cb(event)
+            else:
+                # Deadline path: peek before popping so events beyond the
+                # deadline stay scheduled.
+                while heap:
+                    if stop_event is not None \
+                            and stop_event.callbacks is None:
+                        break
+                    t = heap[0][0]
+                    if t > deadline:
+                        self.now = deadline
+                        break
+                    if processed >= limit:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} "
+                            f"(possible livelock)")
+                    item = pop(heap)
+                    if t < now:
+                        raise SimulationError("time went backwards")
+                    self.now = now = t
+                    processed += 1
+                    event = item[3]
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event.processed = True
+                    for cb in callbacks:
+                        cb(event)
+        finally:
+            self.event_count += processed
         if stop_event is not None:
             if not stop_event.triggered:
                 raise SimulationError(

@@ -1,0 +1,199 @@
+"""Parallel sweep engine + result cache (repro.bench.parallel).
+
+The contracts under test:
+
+* ``run_points`` with ``jobs=N`` returns results **element-wise identical**
+  to a sequential run (every point is an independent deterministic
+  simulation keyed by its own seed).
+* The content-addressed cache: a hit skips the simulation entirely, a
+  changed parameter / seed / code fingerprint misses, ``no_cache=True``
+  bypasses a populated cache.
+* ``run_sweep(jobs=N)`` produces the same rows as sequential.
+"""
+
+import pytest
+
+import repro.bench.parallel as parallel
+from repro.bench.parallel import (ExecutionPolicy, PointTask, ResultCache,
+                                  code_fingerprint, evaluate_point,
+                                  execution, latency_task,
+                                  message_rate_task, octotiger_task,
+                                  run_points, set_policy)
+from repro.bench.sweep import SweepSpec, run_sweep
+from repro.hpx_rt.platform import EXPANSE, ROSTAM
+
+
+def small_tasks(n_seeds=2, total=300):
+    return [message_rate_task(cfg, msg_size=8, batch=50, total_msgs=total,
+                              inject_rate_kps=rate, platform=EXPANSE,
+                              seed=1000 + i * 7919)
+            for cfg in ("mpi_i", "lci_psr_cq_pin_i")
+            for rate in (100.0, None)
+            for i in range(n_seeds)]
+
+
+# ---------------------------------------------------------------------------
+# task descriptors
+# ---------------------------------------------------------------------------
+def test_point_task_canonical_is_stable_and_sorted():
+    t = message_rate_task("mpi_i", msg_size=8, batch=50, total_msgs=100,
+                          inject_rate_kps=None, platform=EXPANSE, seed=3)
+    c = t.canonical()
+    assert c == t.canonical()
+    assert c.index('"config"') < c.index('"kind"') < c.index('"params"')
+    assert '"platform":"expanse"' in c
+
+
+def test_task_builders_serialize_platform_by_name():
+    t1 = latency_task("mpi_i", msg_size=8, window=4, steps=5,
+                      platform=ROSTAM, seed=1)
+    t2 = octotiger_task("mpi_i", platform=EXPANSE, n_localities=2,
+                        paper_level=4, n_steps=1, seed=1)
+    assert t1.params["platform"] == "rostam"
+    assert t2.params["platform"] == "expanse"
+
+
+def test_evaluate_point_matches_direct_run():
+    from repro.bench.message_rate import MessageRateParams, run_message_rate
+    task = message_rate_task("mpi_i", msg_size=8, batch=50, total_msgs=300,
+                             inject_rate_kps=None, platform=EXPANSE, seed=5)
+    direct = run_message_rate(
+        "mpi_i", MessageRateParams(msg_size=8, batch=50, total_msgs=300,
+                                   inject_rate_kps=None, platform=EXPANSE),
+        seed=5).as_dict()
+    assert evaluate_point(task) == direct
+
+
+def test_evaluate_point_rejects_unknown_kind_and_platform():
+    with pytest.raises(ValueError, match="unknown point kind"):
+        evaluate_point(PointTask("nope", "mpi_i", {}, 0))
+    bad = message_rate_task("mpi_i", msg_size=8, batch=50, total_msgs=10,
+                            inject_rate_kps=None, platform=EXPANSE, seed=0)
+    broken = PointTask("message_rate", "mpi_i",
+                       {**bad.params, "platform": "cray"}, 0)
+    with pytest.raises(ValueError, match="unknown platform"):
+        evaluate_point(broken)
+
+
+# ---------------------------------------------------------------------------
+# parallel == sequential
+# ---------------------------------------------------------------------------
+def test_jobs2_results_element_wise_identical_to_sequential():
+    tasks = small_tasks()
+    seq = run_points(tasks, jobs=1, no_cache=True)
+    par = run_points(tasks, jobs=2, no_cache=True)
+    assert len(seq) == len(tasks)
+    assert seq == par
+
+
+def test_run_sweep_jobs2_rows_identical_to_sequential():
+    spec = SweepSpec(axes={"config": ["mpi_i", "lci_psr_cq_pin_i"],
+                           "total_msgs": [200, 400]}, repeats=2)
+    seq = run_sweep(_sweep_fn, spec, jobs=1)
+    par = run_sweep(_sweep_fn, spec, jobs=2)
+    assert seq.rows == par.rows
+    assert len(seq.rows) == spec.size
+    assert [r["seed"] for r in seq.rows[:2]] == [1000, 8919]
+
+
+def _sweep_fn(config, total_msgs, seed):
+    # top-level so ProcessPoolExecutor workers can unpickle it
+    from repro.bench.message_rate import MessageRateParams, run_message_rate
+    params = MessageRateParams(msg_size=8, batch=50, total_msgs=total_msgs,
+                               inject_rate_kps=None, platform=EXPANSE)
+    return run_message_rate(config, params, seed=seed).as_dict()
+
+
+# ---------------------------------------------------------------------------
+# result cache
+# ---------------------------------------------------------------------------
+def test_cache_roundtrip_and_hit_skips_simulation(tmp_path, monkeypatch):
+    tasks = small_tasks(n_seeds=1)
+    cache = ResultCache(tmp_path)
+    first = run_points(tasks, jobs=1, cache=cache)
+    assert cache.stats() == {"hits": 0, "misses": len(tasks),
+                             "stores": len(tasks)}
+
+    def boom(task):
+        raise AssertionError("cache hit must not re-simulate")
+
+    monkeypatch.setattr(parallel, "evaluate_point", boom)
+    second = run_points(tasks, jobs=1, cache=cache)
+    assert second == first
+    assert cache.hits == len(tasks)
+
+
+def test_changed_param_and_seed_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    base = small_tasks(n_seeds=1)[0]
+    cache.put(base, {"x": 1.0})
+    assert cache.get(base) == {"x": 1.0}
+    other_seed = PointTask(base.kind, base.config, base.params,
+                           base.seed + 1)
+    other_param = PointTask(base.kind, base.config,
+                            {**base.params, "total_msgs": 999}, base.seed)
+    assert cache.get(other_seed) is None
+    assert cache.get(other_param) is None
+
+
+def test_changed_code_fingerprint_misses(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    task = small_tasks(n_seeds=1)[0]
+    cache.put(task, {"x": 2.0})
+    assert cache.get(task) == {"x": 2.0}
+    monkeypatch.setattr(parallel, "_FINGERPRINT", "0" * 64)
+    assert cache.get(task) is None
+
+
+def test_no_cache_bypasses_populated_cache(tmp_path, monkeypatch):
+    tasks = small_tasks(n_seeds=1)[:1]
+    cache = ResultCache(tmp_path)
+    cache.put(tasks[0], {"sentinel": 1.0})
+    monkeypatch.setattr(parallel, "evaluate_point",
+                        lambda task: {"fresh": 2.0})
+    with execution(jobs=1, cache=cache):
+        cached = run_points(tasks)
+        assert cached == [{"sentinel": 1.0}]
+        fresh = run_points(tasks, no_cache=True)
+        assert fresh == [{"fresh": 2.0}]
+    assert cache.stores == 1  # no_cache run must not write either
+
+
+def test_cache_ignores_corrupt_and_wrong_schema_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    task = small_tasks(n_seeds=1)[0]
+    path = cache._path(cache.key(task))
+    path.parent.mkdir(parents=True)
+    path.write_text("{not json")
+    assert cache.get(task) is None
+    path.write_text('{"schema": "repro-cache/0", "result": {"x": 1}}')
+    assert cache.get(task) is None
+
+
+def test_code_fingerprint_is_hex_and_cached():
+    fp = code_fingerprint()
+    assert fp == code_fingerprint()
+    assert len(fp) == 64 and int(fp, 16) >= 0
+
+
+# ---------------------------------------------------------------------------
+# execution policy
+# ---------------------------------------------------------------------------
+def test_set_policy_validates_and_execution_restores(tmp_path):
+    prev = parallel.policy()
+    with execution(jobs=3, cache=tmp_path) as pol:
+        assert parallel.policy() is pol
+        assert pol.jobs == 3 and pol.cache is not None
+        with pytest.raises(ValueError, match="jobs"):
+            set_policy(jobs=0)
+    assert parallel.policy() is prev
+
+
+def test_env_var_supplies_default_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(parallel.CACHE_ENV, str(tmp_path / "envcache"))
+    with execution(jobs=1, cache=None):
+        pol = set_policy()
+        assert pol.cache is not None
+        assert pol.cache.root == tmp_path / "envcache"
+        pol2 = set_policy(no_cache=True)
+        assert pol2.cache is None

@@ -267,3 +267,326 @@ def test_peek_returns_next_event_time():
     assert sim.peek() == 4.0
     sim.run()
     assert sim.peek() == float("inf")
+
+
+# ---------------------------------------------------------------------------
+# max_events semantics (regression: the seed kernel raised only after
+# max_events + 1 events had been processed)
+# ---------------------------------------------------------------------------
+def test_max_events_stops_at_exactly_max_events():
+    sim = Simulator()
+
+    def spin(sim):
+        while True:
+            yield sim.timeout(0.1)
+
+    sim.process(spin(sim))
+    with pytest.raises(SimulationError, match="max_events=50"):
+        sim.run(max_events=50)
+    assert sim.event_count == 50
+
+
+def test_max_events_allows_run_completing_in_exactly_max_events():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule_call(float(i), lambda: None)
+    sim.run(max_events=5)
+    assert sim.event_count == 5
+    assert sim.peek() == float("inf")
+
+
+def test_max_events_respected_under_deadline():
+    sim = Simulator()
+
+    def spin(sim):
+        while True:
+            yield sim.timeout(0.1)
+
+    sim.process(spin(sim))
+    with pytest.raises(SimulationError, match="max_events=10"):
+        sim.run(until=1000.0, max_events=10)
+    assert sim.event_count == 10
+
+
+# ---------------------------------------------------------------------------
+# interrupt-vs-completion races
+# ---------------------------------------------------------------------------
+def test_interrupt_with_triggered_unprocessed_target_delivers_value_first():
+    # The wait target has already triggered (URGENT, so it pops before the
+    # interrupt wake): the process receives the value, then the interrupt
+    # at its next suspension point — the completion is not lost.
+    sim = Simulator()
+    log = []
+    ev = sim.event()
+
+    def proc(sim):
+        v = yield ev
+        log.append(("value", v, sim.now))
+        try:
+            yield sim.timeout(100.0)
+            log.append("slept")
+        except Interrupt as i:
+            log.append(("interrupted", i.cause, sim.now))
+
+    p = sim.process(proc(sim))
+
+    def fire(sim):
+        yield sim.timeout(2.0)
+        ev.succeed("payload", priority=0)   # URGENT: pops before the wake
+        p.interrupt("late")
+
+    sim.process(fire(sim))
+    sim.run()
+    assert log == [("value", "payload", 2.0), ("interrupted", "late", 2.0)]
+
+
+def test_interrupt_from_same_event_callback_no_double_resume():
+    # Regression for the seed kernel's mid-step race: a callback of the
+    # very event the process is waiting on interrupts it.  The stale wait
+    # target must never resume the process a second time.
+    sim = Simulator()
+    log = []
+    ev = sim.event()
+    late = sim.event()
+
+    def proc(sim):
+        v = yield ev
+        log.append(("value", v))
+        try:
+            yield late
+            log.append(("late", sim.now))
+        except Interrupt as i:
+            log.append(("interrupted", i.cause))
+            yield sim.timeout(5.0)
+            log.append(("resumed", sim.now))
+
+    p = sim.process(proc(sim))
+    # Interrupt *before* the process's own resume callback runs: the
+    # event's callback list is already detached when interrupt() fires.
+    ev.callbacks.insert(0, lambda _e: p.interrupt("race"))
+    sim.schedule_call(1.0, lambda: ev.succeed("v"))
+    # `late` succeeding afterwards must not resume the moved-on process.
+    sim.schedule_call(2.0, lambda: late.succeed("stale"))
+    sim.run()
+    assert log == [("value", "v"), ("interrupted", "race"),
+                   ("resumed", 6.0)]
+
+
+def test_interrupt_before_process_starts_is_catchable_at_first_yield():
+    sim = Simulator()
+    log = []
+
+    def proc(sim):
+        try:
+            yield sim.timeout(50.0)
+            log.append("slept")
+        except Interrupt as i:
+            log.append(("interrupted", i.cause, sim.now))
+
+    p = sim.process(proc(sim))
+    p.interrupt("early")          # before the bootstrap event has run
+    sim.run()
+    assert log == [("interrupted", "early", 0.0)]
+
+
+def test_interrupt_detaches_stale_target_no_resume_after_interrupt():
+    # After an interrupt, the abandoned wait target firing later must not
+    # resume the process (the seed kernel left it attached in some races).
+    sim = Simulator()
+    log = []
+    first = sim.event()
+
+    def proc(sim):
+        try:
+            yield first
+            log.append("first")
+        except Interrupt:
+            log.append(("interrupted", sim.now))
+        yield sim.timeout(10.0)
+        log.append(("after", sim.now))
+
+    p = sim.process(proc(sim))
+    sim.schedule_call(1.0, lambda: p.interrupt())
+    sim.schedule_call(2.0, lambda: first.succeed("zombie"))
+    sim.run()
+    assert log == [("interrupted", 1.0), ("after", 11.0)]
+
+
+def test_double_interrupt_delivers_both():
+    sim = Simulator()
+    log = []
+
+    def proc(sim):
+        for _ in range(2):
+            try:
+                yield sim.timeout(100.0)
+                log.append("slept")
+            except Interrupt as i:
+                log.append(("interrupted", i.cause))
+        yield sim.timeout(1.0)
+        log.append("done")
+
+    p = sim.process(proc(sim))
+
+    def fire(sim):
+        yield sim.timeout(1.0)
+        p.interrupt("a")
+        p.interrupt("b")
+
+    sim.process(fire(sim))
+    sim.run()
+    assert log == [("interrupted", "a"), ("interrupted", "b"), "done"]
+
+
+def test_interrupt_after_completion_is_noop():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+        return "ok"
+
+    p = sim.process(quick(sim))
+    sim.run()
+    p.interrupt("too late")
+    sim.run()
+    assert p.value == "ok"
+
+
+# ---------------------------------------------------------------------------
+# kernel edge cases exercised by the fast paths
+# ---------------------------------------------------------------------------
+def test_resume_off_already_processed_failed_event_throws():
+    sim = Simulator(strict=False)
+    ev = sim.event()
+    ev.fail(RuntimeError("old failure"))
+    sim.run()                      # process the failure; ev is now stale
+    caught = []
+
+    def late(sim):
+        yield sim.timeout(3.0)
+        try:
+            yield ev               # already processed *and* failed
+        except RuntimeError as e:
+            caught.append((str(e), sim.now))
+
+    sim.process(late(sim))
+    sim.run()
+    assert caught == [("old failure", 3.0)]
+
+
+def test_all_of_with_prefailed_child_fails_immediately():
+    sim = Simulator(strict=False)
+    bad = sim.event()
+    bad.fail(RuntimeError("pre-failed"))
+    sim.run()
+    assert bad.processed and not bad.ok
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield AllOf(sim, [sim.timeout(5.0), bad])
+        except RuntimeError as e:
+            caught.append((str(e), sim.now))
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert caught == [("pre-failed", 0.0)]
+
+
+def test_any_of_with_prefailed_child_fails_immediately():
+    sim = Simulator(strict=False)
+    bad = sim.event()
+    bad.fail(RuntimeError("pre-failed any"))
+    sim.run()
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield AnyOf(sim, [sim.timeout(5.0), bad])
+        except RuntimeError as e:
+            caught.append(str(e))
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert caught == ["pre-failed any"]
+
+
+def test_any_of_with_preprocessed_ok_child_triggers_at_construction():
+    sim = Simulator()
+    won = sim.event()
+    won.succeed("early")
+    sim.run()
+    got = []
+
+    def waiter(sim):
+        ev, value = yield AnyOf(sim, [sim.timeout(9.0), won])
+        got.append((ev is won, value, sim.now))
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert got == [(True, "early", 0.0)]
+
+
+def test_run_until_deadline_processes_urgent_ties_at_deadline():
+    # A process completing at exactly the deadline schedules an URGENT wake
+    # at t == deadline; ``run(until=deadline)`` must process it (ties at the
+    # deadline are inside the window) while leaving anything beyond it.
+    sim = Simulator()
+    order = []
+
+    def child(sim):
+        yield sim.timeout(5.0)
+        return "done"
+
+    def parent(sim):
+        v = yield sim.process(child(sim))
+        order.append(("urgent-completion", sim.now, v))
+
+    sim.process(parent(sim))
+    sim.schedule_call(5.0, lambda: order.append(("normal", sim.now)))
+    sim.schedule_call(5.0001, lambda: order.append(("beyond", sim.now)))
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+    assert order == [("normal", 5.0), ("urgent-completion", 5.0, "done")]
+    sim.run()
+    assert order[-1] == ("beyond", 5.0001)
+
+
+def test_peek_on_empty_heap_is_inf():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    assert sim._heap == []
+    sim.run()                      # running an empty sim is a no-op
+    assert sim.now == 0.0 and sim.peek() == float("inf")
+
+
+def test_schedule_calls_batch_matches_individual_calls():
+    sim = Simulator()
+    out = []
+    evs = sim.schedule_calls([(3.0, lambda: out.append("c")),
+                              (1.0, lambda: out.append("a")),
+                              (2.0, lambda: out.append("b"))])
+    assert len(evs) == 3 and all(e.triggered for e in evs)
+    sim.run()
+    assert out == ["a", "b", "c"]
+    assert sim.event_count == 3
+
+
+def test_schedule_calls_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule_calls([(1.0, lambda: None), (-0.5, lambda: None)])
+
+
+def test_schedule_call_result_is_waitable_event():
+    sim = Simulator()
+    out = []
+    ev = sim.schedule_call(2.0, lambda: out.append("ran"))
+
+    def waiter(sim):
+        yield ev
+        out.append(("woke", sim.now))
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert out == ["ran", ("woke", 2.0)]

@@ -9,11 +9,19 @@ is the one place that measures *wall-clock* time, so the kernel fast paths
   (:mod:`repro.sim.core`) and the frozen pre-optimisation baseline
   (:mod:`repro.sim._seed_kernel`), reporting median-of-k events/sec and
   the live/seed speedup ratio.
+* **Model macrobenchmarks** — end-to-end model workloads (a fig. 1
+  message-rate point, a multi-threaded rate-sweep point, an Octo-Tiger
+  step) run live and under :func:`repro.bench.seedpaths.reference_models`,
+  which swaps the whole frozen seed stack (matching queues, model hot
+  paths, message objects, *and* the seed kernel) back in.  Results are
+  asserted identical before anything is timed, so every speedup quoted
+  here is earned under the bit-identity contract.
 * **Figure wall-times** — end-to-end quick-figure regeneration plus a
   sequential-vs-``--jobs`` sweep timing (speedup scales with available
   cores; on a single-core host the ratio is honestly ~1×).
 
-Results are emitted as ``BENCH_kernel.json`` / ``BENCH_figures.json``
+Results are emitted as ``BENCH_kernel.json`` / ``BENCH_models.json`` /
+``BENCH_figures.json``
 (schema tag ``repro-bench/1``, validated by :func:`validate_bench`).  CI
 runs the smoke scale and *records* the numbers — wall-clock varies across
 runners, so nothing gates on them; the committed baselines at the repo
@@ -32,7 +40,8 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 __all__ = ["KERNEL_WORKLOADS", "BENCH_SCHEMA",
-           "bench_kernel", "bench_figures", "validate_bench", "run_perf"]
+           "bench_kernel", "bench_models", "bench_figures",
+           "validate_bench", "run_perf"]
 
 #: schema tag stamped into every BENCH_*.json document
 BENCH_SCHEMA = "repro-bench/1"
@@ -179,6 +188,90 @@ def bench_kernel(full: bool = False,
 
 
 # ---------------------------------------------------------------------------
+# end-to-end model macrobenchmarks — live vs frozen-reference stack
+# ---------------------------------------------------------------------------
+def _model_workloads(full: bool) -> Dict[str, Callable[[], Any]]:
+    """name → zero-arg runner returning a comparable result dict.
+
+    Each runner is deterministic for a fixed seed, so the live run and the
+    :func:`~repro.bench.seedpaths.reference_models` run must return equal
+    results — that equality is asserted before any timing happens.
+    """
+    from .message_rate import MessageRateParams, run_message_rate
+    from .octotiger_bench import OctoTigerBenchParams, run_octotiger
+
+    mr = MessageRateParams(msg_size=8, batch=50,
+                           total_msgs=2000 if full else 600,
+                           inject_rate_kps=200.0)
+    ot = OctoTigerBenchParams(n_localities=2,
+                              paper_level=4 if full else 3, n_steps=1)
+    return {
+        "fig1_point_mpi_i":
+            lambda: run_message_rate("mpi_i", mr, seed=7).as_dict(),
+        "fig1_point_lci_pin":
+            lambda: run_message_rate("lci_psr_cq_pin_i", mr,
+                                     seed=7).as_dict(),
+        "rate_sweep_lci_mt":
+            lambda: run_message_rate("lci_sr_sy_mt", mr, seed=7).as_dict(),
+        "octotiger_step_mpi_i":
+            lambda: run_octotiger("mpi_i", ot, seed=7),
+    }
+
+
+def bench_models(full: bool = False,
+                 repeats: Optional[int] = None) -> Dict[str, Any]:
+    """Run the model workloads live and frozen-reference; return the doc.
+
+    The reference side runs under :func:`repro.bench.seedpaths.
+    reference_models`, i.e. the complete pre-optimisation model stack
+    (linear-scan matching, un-split hot paths, dataclass messages, seed
+    kernel).  Timings interleave live/reference so host-speed drift
+    cancels out of the ratio; the headline number is the geomean speedup
+    across workloads (target: >= 1.5x on these model-dominated runs).
+    """
+    from .seedpaths import reference_models
+
+    repeats = repeats or (5 if full else 3)
+    doc = _doc_header("models", repeats)
+    doc["scale"] = "full" if full else "smoke"
+    workloads: Dict[str, Any] = {}
+    speedups: List[float] = []
+    for name, fn in _model_workloads(full).items():
+        # warm-up doubles as the identity check: the optimised stack must
+        # reproduce the frozen reference bit-for-bit before it gets timed
+        live_res = fn()
+        with reference_models():
+            ref_res = fn()
+        if live_res != ref_res:
+            raise AssertionError(
+                f"{name}: live result diverged from frozen reference — "
+                f"determinism contract broken")
+        live_times: List[float] = []
+        ref_times: List[float] = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            live_times.append(time.perf_counter() - t0)
+            with reference_models():
+                t0 = time.perf_counter()
+                fn()
+                ref_times.append(time.perf_counter() - t0)
+        live_s = statistics.median(live_times)
+        ref_s = statistics.median(ref_times)
+        workloads[name] = {
+            "live_s": round(live_s, 6),
+            "ref_s": round(ref_s, 6),
+            "speedup": round(ref_s / live_s, 3),
+        }
+        speedups.append(ref_s / live_s)
+    doc["workloads"] = workloads
+    doc["speedup_min"] = round(min(speedups), 3)
+    doc["speedup_geomean"] = round(
+        statistics.geometric_mean(speedups), 3)
+    return doc
+
+
+# ---------------------------------------------------------------------------
 # end-to-end figure wall-times
 # ---------------------------------------------------------------------------
 def bench_figures(full: bool = False, jobs: Optional[int] = None
@@ -237,7 +330,7 @@ def validate_bench(doc: Dict[str, Any]) -> List[str]:
     if doc.get("schema") != BENCH_SCHEMA:
         errors.append(f"schema != {BENCH_SCHEMA!r}: {doc.get('schema')!r}")
     kind = doc.get("kind")
-    if kind not in ("kernel", "figures"):
+    if kind not in ("kernel", "models", "figures"):
         errors.append(f"unknown kind {kind!r}")
     for key in ("python", "platform", "generated_utc", "repeats", "scale"):
         if key not in doc:
@@ -250,6 +343,19 @@ def validate_bench(doc: Dict[str, Any]) -> List[str]:
             for name, w in workloads.items():
                 for key in ("n", "events", "live_s", "live_events_per_s",
                             "seed_s", "seed_events_per_s", "speedup"):
+                    val = w.get(key)
+                    if not isinstance(val, (int, float)) or val <= 0:
+                        errors.append(f"workload {name}: bad {key}={val!r}")
+        for key in ("speedup_min", "speedup_geomean"):
+            if not isinstance(doc.get(key), (int, float)):
+                errors.append(f"missing/bad {key}")
+    elif kind == "models":
+        workloads = doc.get("workloads")
+        if not workloads:
+            errors.append("models doc has no workloads")
+        else:
+            for name, w in workloads.items():
+                for key in ("live_s", "ref_s", "speedup"):
                     val = w.get(key)
                     if not isinstance(val, (int, float)) or val <= 0:
                         errors.append(f"workload {name}: bad {key}={val!r}")
@@ -291,6 +397,15 @@ def run_perf(full: bool = False, out_dir: str = ".",
     print(f"  min speedup {kernel_doc['speedup_min']:.2f}x, "
           f"geomean {kernel_doc['speedup_geomean']:.2f}x")
 
+    models_doc = bench_models(full=full)
+    print(f"== model macrobenchmarks "
+          f"({models_doc['scale']}, median of {models_doc['repeats']}) ==")
+    for name, w in models_doc["workloads"].items():
+        print(f"  {name:<22} live {w['live_s']:.2f}s  "
+              f"ref {w['ref_s']:.2f}s  speedup {w['speedup']:.2f}x")
+    print(f"  min speedup {models_doc['speedup_min']:.2f}x, "
+          f"geomean {models_doc['speedup_geomean']:.2f}x")
+
     figures_doc = bench_figures(full=full, jobs=jobs)
     sweep = figures_doc["sweep"]
     print("== figure wall-times ==")
@@ -303,6 +418,7 @@ def run_perf(full: bool = False, out_dir: str = ".",
 
     failures = 0
     for fname, doc in (("BENCH_kernel.json", kernel_doc),
+                       ("BENCH_models.json", models_doc),
                        ("BENCH_figures.json", figures_doc)):
         errors = validate_bench(doc)
         if errors:

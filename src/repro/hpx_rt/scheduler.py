@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional, TYPE_CHECKING
 
-from ..sim.core import AnyOf, Event, Simulator, Timeout
+from ..sim.core import AnyOf, Event, Simulator
 from ..sim.primitives import SpinLock
 from ..sim.stats import StatSet
 from .task import Task
@@ -39,6 +39,10 @@ class Scheduler:
         self.name = name
         self._queue: Deque[Task] = deque()
         self._sleepers: Deque[Event] = deque()
+        #: lazily tombstoned sleeper events: unregistering is O(1) set-add
+        #: instead of deque.remove's O(n); entries are reclaimed at the
+        #: next notify or by compaction
+        self._stale: set = set()
         self.stats = StatSet(name)
 
     # -- task queue -------------------------------------------------------
@@ -61,16 +65,26 @@ class Scheduler:
         self._sleepers.append(ev)
 
     def unregister_sleeper(self, ev: Event) -> None:
-        try:
-            self._sleepers.remove(ev)
-        except ValueError:
-            pass
+        if ev.triggered:
+            # Already popped (and woken) by notify — nothing to reclaim.
+            return
+        self._stale.add(ev)
+        if len(self._stale) > 8 and 2 * len(self._stale) >= len(self._sleepers):
+            stale = self._stale
+            self._sleepers = deque(
+                e for e in self._sleepers if e not in stale)
+            stale.clear()
 
     def notify(self, n: int = 1) -> None:
         """Wake up to ``n`` sleeping workers (skipping stale entries)."""
         woken = 0
-        while self._sleepers and woken < n:
-            ev = self._sleepers.popleft()
+        sleepers = self._sleepers
+        stale = self._stale
+        while sleepers and woken < n:
+            ev = sleepers.popleft()
+            if stale and ev in stale:
+                stale.discard(ev)
+                continue
             if not ev.triggered:
                 ev.succeed()
                 woken += 1
@@ -94,16 +108,23 @@ class Worker:
         self.obs = getattr(locality.runtime, "obs", None)
 
     # -- time helpers used by task bodies ------------------------------------
-    def cpu(self, us: float) -> Timeout:
-        """Unscaled CPU time: communication-path / per-message cycles."""
-        self.stats.add("cpu_us", us)
-        return self.sim.timeout(us)
+    def cpu(self, us: float) -> float:
+        """Unscaled CPU time: communication-path / per-message cycles.
 
-    def compute(self, us: float) -> Timeout:
+        Returns the bare charge; yielding it takes the kernel's float
+        fast path — the same heap record ``yield sim.timeout(us)`` would
+        schedule, without the Timeout allocation.  This is the single
+        hottest call in the stack (every poll, copy and post charges
+        through it).
+        """
+        self.stats.add("cpu_us", us)
+        return us
+
+    def compute(self, us: float) -> float:
         """Application compute, scaled by the platform thread weight."""
         scaled = us / self._weight
         self.stats.add("compute_us", scaled)
-        return self.sim.timeout(scaled)
+        return scaled
 
     def compute_granular(self, us: float):
         """Generator: compute that stands for a *batch* of fine-grained
@@ -123,7 +144,7 @@ class Worker:
         while remaining > 0.0:
             dt = min(slice_us, remaining)
             remaining -= dt
-            yield self.sim.timeout(dt)
+            yield dt
             if remaining > 0.0:
                 yield from self.locality.parcelport.background_work(self)
 
@@ -131,9 +152,16 @@ class Worker:
         """Generator: blockingly acquire a spin lock (FIFO)."""
         t0 = self.sim.now
         yield lk.acquire()
-        self.stats.add("lock_wait_us", self.sim.now - t0)
-        if self.obs is not None and self.sim.now > t0:
-            self.obs.complete("lock", "wait", t0, self.sim.now,
+        self.lock_acquired(lk, t0)
+
+    def lock_acquired(self, lk: SpinLock, t0: float) -> None:
+        """Post-acquire bookkeeping for hot call sites that inline
+        :meth:`lock` as a bare ``yield lk.acquire()`` (same event, same
+        stats — minus one generator per acquisition)."""
+        now = self.sim.now
+        self.stats.add("lock_wait_us", now - t0)
+        if self.obs is not None and now > t0:
+            self.obs.complete("lock", "wait", t0, now,
                               loc=self.locality.lid, tid=self.name,
                               lock=lk.name)
 

@@ -73,12 +73,19 @@ class _CallerMeter:
     def touch(self, caller: Any, now: float) -> int:
         """Record a call; return the number of distinct recent callers
         (including this one)."""
-        self._last_seen[caller] = now
+        last_seen = self._last_seen
+        last_seen[caller] = now
+        if len(last_seen) == 1:
+            # Single caller (the pinned-progress-thread case): it was
+            # just touched, so it is trivially within the window.
+            return 1
         horizon = now - self.window_us
-        if len(self._last_seen) > 64:  # prune stale entries
-            self._last_seen = {c: t for c, t in self._last_seen.items()
-                               if t >= horizon}
-        return sum(1 for t in self._last_seen.values() if t >= horizon)
+        if len(last_seen) > 64:  # prune stale entries
+            self._last_seen = last_seen = {
+                c: t for c, t in last_seen.items() if t >= horizon}
+        # C-level count of entries within the window (t >= horizon); this
+        # runs on every progress call, so no Python-level loop here.
+        return sum(map(horizon.__le__, last_seen.values()))
 
 
 class LciDevice:
@@ -263,18 +270,33 @@ class LciDevice:
         stays cache-hot; alternating worker threads pay the switch
         penalty and contention inflation.
         """
-        p = self.params
-        now = self.sim.now
-        pressure = self._callers.touch(caller, now)
-        if not self.progress_lock.try_acquire():
-            yield worker.cpu(p.trylock_fail_us)
-            self.stats.inc("progress_contended")
+        ok, val = self.try_begin_progress(caller)
+        if not ok:
+            yield worker.cpu(val)
             return -1
+        return (yield from self._progress_body(worker, val))
+
+    def try_begin_progress(self, caller: Any):
+        """Non-generator head of :meth:`progress`: cache-model touch plus
+        the engine try-lock.  Returns ``(False, trylock_fail_us)`` when
+        contended — the caller charges that and moves on without ever
+        building a progress generator (the mt-mode event storm) — or
+        ``(True, mult)`` with the lock HELD, in which case the caller must
+        drive :meth:`_progress_body` to completion."""
+        p = self.params
+        pressure = self._callers.touch(caller, self.sim.now)
+        if not self.progress_lock.try_acquire():
+            self.stats.inc("progress_contended")
+            return False, p.trylock_fail_us
         mult = 1.0 + p.contention_factor * max(0, pressure - 1)
         if caller != self._last_caller:
             mult += p.caller_switch_penalty
             self._last_caller = caller
-        mult = min(mult, p.max_contention_mult)
+        return True, min(mult, p.max_contention_mult)
+
+    def _progress_body(self, worker, mult: float):
+        """Generator → int: the locked section of :meth:`progress`."""
+        p = self.params
         self.stats.inc("progress_calls")
         t0 = self.sim.now
         yield worker.cpu(p.progress_base_us * mult)
@@ -368,13 +390,7 @@ class LciDevice:
             if sop.comp is not None:
                 # Source buffer reusable once the NIC drained it.
                 delay = max(0.0, self.nic.tx.busy_until - self.sim.now)
-
-                def _complete_send(sop=sop):
-                    sop.comp.signal(("send", sop.ctx))
-                    if self.notify is not None:
-                        self.notify()
-
-                self.sim.schedule_call(delay, _complete_send)
+                self.sim.schedule_call1(delay, self._signal_send_done, sop)
             self.stats.inc("cts_handled")
         elif kind == "lci_data":
             yield worker.cpu(p.rndv_dispatch_us * mult)
@@ -436,6 +452,12 @@ class LciDevice:
         if removed:
             self.stats.inc("recvs_cancelled", removed)
         return removed
+
+    def _signal_send_done(self, sop: LciOp) -> None:
+        """Timer-driven long-send local completion (was a per-CTS closure)."""
+        sop.comp.signal(("send", sop.ctx))
+        if self.notify is not None:
+            self.notify()
 
     def _send_cts(self, worker, dst: int, sop: LciOp, rop: LciOp):
         p = self.params

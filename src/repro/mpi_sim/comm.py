@@ -20,8 +20,7 @@ All public operations are generators to be driven from a worker context:
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Any, Deque, List, Optional, Tuple
+from typing import Any, Optional, Tuple
 
 from ..faults import TransportError
 from ..netsim.message import NetMsg
@@ -30,14 +29,21 @@ from ..netsim.nic import Nic
 from ..sim.core import Simulator
 from ..sim.primitives import SpinLock
 from ..sim.stats import StatSet
+from .matching import PostedQueue, UnexpectedQueue
 from .params import DEFAULT_MPI_PARAMS, MpiParams
-from .request import ANY_SOURCE, ANY_TAG, Request
+from .request import Request
 
 __all__ = ["MpiComm"]
 
 
 class MpiComm:
     """One rank's endpoint of the simulated MPI library."""
+
+    #: matching-queue factories — class attributes so the benchmark
+    #: harness (repro.bench.seedpaths) can swap in the frozen linear-scan
+    #: reference (repro.mpi_sim._seed_match) for live-vs-seed timing
+    posted_queue_cls = PostedQueue
+    unexpected_queue_cls = UnexpectedQueue
 
     def __init__(self, sim: Simulator, nic: Nic, rank: int,
                  params: MpiParams = DEFAULT_MPI_PARAMS):
@@ -47,8 +53,8 @@ class MpiComm:
         self.params = params
         self.progress_lock = SpinLock(sim, f"mpi{rank}.progress",
                                       acquire_cost=params.lock_acquire_us)
-        self.posted: List[Request] = []
-        self.unexpected: Deque[NetMsg] = deque()
+        self.posted = self.posted_queue_cls()
+        self.unexpected = self.unexpected_queue_cls()
         self.unexpected_bytes = 0
         #: buffered RTS entries awaiting a matching receive — UCX revisits
         #: its pending-rendezvous queue on *every* progress call
@@ -149,9 +155,19 @@ class MpiComm:
         lock and polls.
         """
         t_req = self.sim.now
-        yield from worker.lock(self.progress_lock)
+        # Inlined worker.lock() + the empty-ring progress fast path: the
+        # overwhelmingly common idle poll runs in this one generator
+        # (identical events and charges; see docs/PERFORMANCE.md).
+        yield self.progress_lock.acquire()
+        worker.lock_acquired(self.progress_lock, t_req)
         t_acq = self.sim.now
-        yield from self._progress_locked(worker)
+        p = self.params
+        if not self.nic.rx_ring:
+            self.stats.inc("progress_calls")
+            yield worker.cpu(p.progress_base_us * 0.25
+                             + self.pending_rts * p.unexpected_tax_per_entry_us)
+        else:
+            yield from self._progress_locked(worker)
         done = req.done
         if self.obs is not None:
             self._obs_lock_span(worker, t_req, t_acq)
@@ -164,9 +180,17 @@ class MpiComm:
         the big lock, poll, release.  Under traffic this is where the
         convoy forms."""
         t_req = self.sim.now
-        yield from worker.lock(self.progress_lock)
+        # Inlined worker.lock() + empty-ring fast path, as in test().
+        yield self.progress_lock.acquire()
+        worker.lock_acquired(self.progress_lock, t_req)
         t_acq = self.sim.now
-        yield from self._progress_locked(worker)
+        p = self.params
+        if not self.nic.rx_ring:
+            self.stats.inc("progress_calls")
+            yield worker.cpu(p.progress_base_us * 0.25
+                             + self.pending_rts * p.unexpected_tax_per_entry_us)
+        else:
+            yield from self._progress_locked(worker)
         if self.obs is not None:
             self._obs_lock_span(worker, t_req, t_acq)
         self.progress_lock.release()
@@ -262,8 +286,7 @@ class MpiComm:
                 # The send request completes once the NIC drained the last
                 # bounce buffer; observed by a later test().
                 done_in = max(0.0, self.nic.tx.busy_until - self.sim.now)
-                self.sim.schedule_call(done_in,
-                                       lambda r=sreq: self._complete(r))
+                self.sim.schedule_call1(done_in, self._complete, sreq)
                 self.stats.inc("cts_handled")
             elif kind == "mpi_data":
                 payload, rreq, last = msg.payload
@@ -346,29 +369,22 @@ class MpiComm:
 
     def _match_posted(self, src: int, tag: int
                       ) -> Tuple[Optional[Request], int]:
-        """Linear scan of posted receives; returns (match, elements scanned)."""
-        for i, req in enumerate(self.posted):
-            if req.matches(src, tag):
-                self.posted.pop(i)
-                return req, i + 1
-        return None, len(self.posted)
+        """First posted receive matching (src, tag) plus the scanned count
+        the seed's linear scan would have charged (indexed; see
+        repro.mpi_sim.matching)."""
+        return self.posted.match_pop(src, tag)
 
     def _match_unexpected(self, src: int, tag: int
                           ) -> Tuple[Optional[NetMsg], int]:
-        """Scan the unexpected queue for a (src, tag) match."""
-        for i, msg in enumerate(self.unexpected):
-            if src != ANY_SOURCE and msg.src != src:
-                continue
-            if tag != ANY_TAG and msg.tag != tag:
-                continue
-            del self.unexpected[i]
+        """Pop the oldest unexpected (src, tag) match, if any."""
+        msg, scanned = self.unexpected.match_pop(src, tag)
+        if msg is not None:
             if msg.kind == "mpi_eager":
                 self.unexpected_bytes -= msg.size
             else:
                 self.unexpected_bytes -= self.params.wire_header_bytes
                 self.pending_rts -= 1
-            return msg, i + 1
-        return None, len(self.unexpected)
+        return msg, scanned
 
     def _complete(self, req: Request) -> None:
         if not req.done:

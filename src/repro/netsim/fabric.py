@@ -73,8 +73,7 @@ class Fabric:
                     self.obs.wire_fault(msg, "corrupt")
         wire = 0.0 if msg.dst == msg.src else self.params.wire_latency_us
         arrive_t = tx_done_t + wire
-        self.sim.schedule_call(arrive_t - self.sim.now,
-                               lambda: dst.deliver(msg))
+        self.sim.schedule_call1(arrive_t - self.sim.now, dst.deliver, msg)
 
     def node_ids(self) -> List[int]:
         return sorted(self.nics)

@@ -8,7 +8,6 @@ size).  Payload *content* is carried by reference — only sizes cost time.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 __all__ = ["NetMsg"]
@@ -16,9 +15,15 @@ __all__ = ["NetMsg"]
 _msg_ids = itertools.count()
 
 
-@dataclass
 class NetMsg:
     """One message in flight on the fabric.
+
+    A hand-slotted record (two NetMsg constructions per simulated wire
+    message make this a hot allocation site; ``__slots__`` plus a plain
+    ``__init__`` beat the seed's dataclass with its ``default_factory``).
+    Messages compare by identity — every construction gets a fresh
+    ``msg_id``, so field equality never held between distinct messages
+    anyway.
 
     Attributes
     ----------
@@ -34,24 +39,34 @@ class NetMsg:
     payload:
         Arbitrary reference-carried data (never copied; copies are costed
         explicitly by the layers that perform them).
+    vchan:
+        Virtual channel / hardware queue pair: multi-device endpoints
+        (the paper's §7.2 future work) keep their traffic separated here.
+    corrupted:
+        Set by the fault injector: the message arrives, but its payload is
+        garbage — the receiving library surfaces an error status instead
+        of completing the matched operation normally.
     """
 
-    src: int
-    dst: int
-    size: int
-    kind: str
-    tag: Optional[int] = None
-    payload: Any = None
-    #: virtual channel / hardware queue pair: multi-device endpoints
-    #: (the paper's §7.2 future work) keep their traffic separated here
-    vchan: int = 0
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
-    inject_t: float = 0.0
-    arrive_t: float = 0.0
-    #: set by the fault injector: the message arrives, but its payload is
-    #: garbage — the receiving library surfaces an error status instead of
-    #: completing the matched operation normally
-    corrupted: bool = False
+    __slots__ = ("src", "dst", "size", "kind", "tag", "payload", "vchan",
+                 "msg_id", "inject_t", "arrive_t", "corrupted")
+
+    def __init__(self, src: int, dst: int, size: int, kind: str,
+                 tag: Optional[int] = None, payload: Any = None,
+                 vchan: int = 0, msg_id: Optional[int] = None,
+                 inject_t: float = 0.0, arrive_t: float = 0.0,
+                 corrupted: bool = False):
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.kind = kind
+        self.tag = tag
+        self.payload = payload
+        self.vchan = vchan
+        self.msg_id = next(_msg_ids) if msg_id is None else msg_id
+        self.inject_t = inject_t
+        self.arrive_t = arrive_t
+        self.corrupted = corrupted
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         flag = " CORRUPT" if self.corrupted else ""

@@ -32,6 +32,9 @@ __all__ = ["Nic"]
 class Nic:
     """One network interface attached to a node."""
 
+    __slots__ = ("sim", "node_id", "params", "fabric", "tx", "rx_rings",
+                 "_arrival_waiters", "stats", "on_deliver", "obs")
+
     def __init__(self, sim: Simulator, node_id: int, params: NetworkParams):
         self.sim = sim
         self.node_id = node_id

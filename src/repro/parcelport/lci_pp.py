@@ -149,9 +149,14 @@ class LciParcelport(Parcelport):
         while rt.running:
             handled = 0
             for dev in self.devices:
-                n = yield from dev.progress(w, caller="pin")
-                if n > 0:
-                    handled += n
+                # split progress(): no generator built on a contended poll
+                ok, val = dev.try_begin_progress("pin")
+                if ok:
+                    n = yield from dev._progress_body(w, val)
+                    if n > 0:
+                        handled += n
+                else:
+                    yield w.cpu(val)
             if handled:
                 # Completions were pushed; make sure a worker notices.
                 sched.notify()
@@ -486,10 +491,57 @@ class LciParcelport(Parcelport):
     # background work (§3.2.1 "Threads and background work")
     # ------------------------------------------------------------------
     def background_work(self, worker, rounds=None):
+        """Generator → bool: up to ``poll_rounds`` background slices.
+
+        The round body is :meth:`_background_once` inlined — one generator
+        for the whole call instead of one per round — with the sub-polls
+        that yield nothing and charge nothing when idle (sync scan, flow
+        pump) elided at the call site, so idle polling stops churning
+        generator objects while the event schedule stays bit-identical.
+        """
         did_any = False
         idle_rounds = 0
         for _ in range(rounds if rounds is not None else self.poll_rounds):
-            did = yield from self._background_once(worker)
+            yield worker.cpu(self.cost.background_call_us)
+            did = False
+            if not self.reserves_progress_core:
+                # worker-progress mode: idle threads drive the LCI
+                # engines (split progress(): a contended poll charges its
+                # try-lock cost without building a generator)
+                for dev in self.devices:
+                    ok, val = dev.try_begin_progress(id(worker))
+                    if ok:
+                        n = yield from dev._progress_body(worker, val)
+                        if n > 0:
+                            did = True
+                    else:
+                        yield worker.cpu(val)
+            # Drain header completions (always a CQ — LCI put limitation).
+            if self.protocol == "psr":
+                for cq in self.header_cqs:
+                    for _ in range(CQ_POPS_PER_SLICE):
+                        entry, pop_cost = cq.pop()
+                        yield worker.cpu(pop_cost)
+                        if entry is None:
+                            break
+                        yield from self._dispatch(worker, entry)
+                        did = True
+            # Drain chunk completions.
+            if self.completion == "cq":
+                for _ in range(CQ_POPS_PER_SLICE):
+                    entry, pop_cost = self.comp_cq.pop()
+                    yield worker.cpu(pop_cost)
+                    if entry is None:
+                        break
+                    yield from self._dispatch(worker, entry)
+                    did = True
+            elif self.sync_pending:
+                did = (yield from self._scan_syncs(worker)) or did
+            if self.reliability is not None:
+                did = (yield from self._reliability_poll(worker)) or did
+            if self.flow is not None and (self._backlog_total
+                                          or self._accept_waiters):
+                did = (yield from self._flow_pump(worker)) or did
             if did:
                 did_any = True
                 idle_rounds = 0
@@ -500,6 +552,10 @@ class LciParcelport(Parcelport):
         return did_any
 
     def _background_once(self, worker):
+        """One unguarded background round (the seed shape: every sub-poll
+        delegated unconditionally).  :meth:`background_work` inlines this
+        body; the frozen reference loop (repro.bench.seedpaths) still
+        drives it round-by-round."""
         yield worker.cpu(self.cost.background_call_us)
         did = False
         if not self.reserves_progress_core:
@@ -545,7 +601,9 @@ class LciParcelport(Parcelport):
         """
         if not self.sync_pending:
             return False
-        yield from worker.lock(self.sync_lock)
+        t0 = self.sim.now
+        yield self.sync_lock.acquire()       # inlined worker.lock()
+        worker.lock_acquired(self.sync_lock, t0)
         did = False
         ready = []
         keep = []

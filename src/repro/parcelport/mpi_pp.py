@@ -281,10 +281,44 @@ class MpiParcelport(Parcelport):
     # background work (§3.1 "Threads and background work")
     # ------------------------------------------------------------------
     def background_work(self, worker, rounds=None):
+        """Generator → bool: up to ``poll_rounds`` background slices.
+
+        The round body is :meth:`_background_once` inlined — one generator
+        for the whole call instead of one per round — with the sub-polls
+        that yield nothing and charge nothing when idle (pending scan,
+        flow pump) elided at the call site, so idle polling stops churning
+        generator objects while the event schedule stays bit-identical.
+        """
         did_any = False
         idle_rounds = 0
         for _ in range(rounds if rounds is not None else self.poll_rounds):
-            did = yield from self._background_once(worker)
+            yield worker.cpu(self.cost.background_call_us)
+            did = False
+            # (a) check the persistent header receive for new parcels.
+            # Only one thread decodes headers at a time, but every other
+            # polling thread still enters MPI_Test — i.e. takes the big
+            # progress lock for a bare progress pass.  That contention is
+            # the §5 profiling result ("spinning on the blocking lock of
+            # ucp_progress").
+            if self._header_guard.try_acquire():
+                try:
+                    did = (yield from self._check_header(worker)) or did
+                    if self.original:
+                        did = (yield from self._check_release(worker)) or did
+                    if self.reliability is not None:
+                        did = (yield from self._check_ack(worker)) or did
+                finally:
+                    self._header_guard.release()
+            else:
+                yield from self.mpi.progress_only(worker)
+            # (b) round-robin over the pending connection list
+            if self.pending:
+                did = (yield from self._scan_pending(worker)) or did
+            if self.reliability is not None:
+                did = (yield from self._reliability_poll(worker)) or did
+            if self.flow is not None and (self._backlog_total
+                                          or self._accept_waiters):
+                did = (yield from self._flow_pump(worker)) or did
             if did:
                 did_any = True
                 idle_rounds = 0
@@ -295,13 +329,12 @@ class MpiParcelport(Parcelport):
         return did_any
 
     def _background_once(self, worker):
+        """One unguarded background round (the seed shape: every sub-poll
+        delegated unconditionally).  :meth:`background_work` inlines this
+        body; the frozen reference loop (repro.bench.seedpaths) still
+        drives it round-by-round."""
         yield worker.cpu(self.cost.background_call_us)
         did = False
-        # (a) check the persistent header receive for new parcels.  Only
-        # one thread decodes headers at a time, but every other polling
-        # thread still enters MPI_Test — i.e. takes the big progress lock
-        # for a bare progress pass.  That contention is the §5 profiling
-        # result ("spinning on the blocking lock of ucp_progress").
         if self._header_guard.try_acquire():
             try:
                 did = (yield from self._check_header(worker)) or did
@@ -313,7 +346,6 @@ class MpiParcelport(Parcelport):
                 self._header_guard.release()
         else:
             yield from self.mpi.progress_only(worker)
-        # (b) round-robin over the pending connection list
         did = (yield from self._scan_pending(worker)) or did
         if self.reliability is not None:
             did = (yield from self._reliability_poll(worker)) or did
@@ -382,7 +414,9 @@ class MpiParcelport(Parcelport):
     def _scan_pending(self, worker):
         if not self.pending:
             return False
-        yield from worker.lock(self.pending_lock)
+        t0 = self.sim.now
+        yield self.pending_lock.acquire()    # inlined worker.lock()
+        worker.lock_acquired(self.pending_lock, t0)
         batch = []
         for _ in range(min(self.scan_limit, len(self.pending))):
             batch.append(self.pending.popleft())
@@ -422,7 +456,9 @@ class MpiParcelport(Parcelport):
             else:
                 keep.append(conn)
         if keep:
-            yield from worker.lock(self.pending_lock)
+            t0 = self.sim.now
+            yield self.pending_lock.acquire()
+            worker.lock_acquired(self.pending_lock, t0)
             self.pending.extend(keep)
             self.pending_lock.release()
         return did

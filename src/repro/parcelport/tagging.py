@@ -35,6 +35,8 @@ def tag_of(raw: int, offset: int, max_tag: int) -> int:
 class TagAllocator:
     """Shared atomic tag counter (the current scheme in both parcelports)."""
 
+    __slots__ = ("max_tag", "_counter")
+
     def __init__(self, sim: Simulator, max_tag: int, name: str = "tags"):
         self.max_tag = max_tag
         self._counter = AtomicCell(sim, name, op_cost=0.02)
@@ -55,6 +57,9 @@ class TagProvider:
     ``release`` pushes a tag back (fed by "tag release" messages from the
     receiver in the original MPI parcelport).
     """
+
+    __slots__ = ("sim", "max_tag", "lock", "list_op_us", "_free",
+                 "_free_set", "duplicate_releases", "_next")
 
     def __init__(self, sim: Simulator, max_tag: int, name: str = "tagprov",
                  list_op_us: float = 0.05):

@@ -202,6 +202,45 @@ class _Call(Event):
         self.fn()
 
 
+class _Call1(Event):
+    """A :meth:`Simulator.schedule_call1` event: runs ``fn(arg)``.
+
+    Like :class:`_Call` but carries one argument, replacing the
+    per-message closures on the hot wire-delivery and rendezvous-
+    completion paths (``lambda: dst.deliver(msg)`` and friends) with
+    plain attribute slots.  Heap tuple identical to ``schedule_call``.
+    """
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, sim: "Simulator", delay: float,
+                 fn: Callable[[Any], None], arg: Any):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.sim = sim
+        self.fn = fn
+        self.arg = arg
+        self.callbacks = [self._invoke]
+        self._value = None
+        self._ok = True
+        self.triggered = True
+        self.processed = False
+        seq = sim._seq
+        sim._seq = seq + 1
+        _heappush(sim._heap, (sim.now + delay, NORMAL, seq, self))
+
+    def _invoke(self, _event: Event) -> None:
+        self.fn(self.arg)
+
+
+def _succeed_stashed(wake: "_Wake") -> None:
+    """Callback for :meth:`Simulator.succeed_later` wake records: the
+    target event rides in the record's ``_value`` slot; deliver the value
+    pre-staged on the event itself."""
+    ev = wake._value
+    ev.succeed(ev._value)
+
+
 class Process(Event):
     """A generator-coroutine driven by the simulator.
 
@@ -306,6 +345,25 @@ class Process(Event):
             self.fail(exc, priority=URGENT)
             return
         sim._active_process = None
+        cls = nxt.__class__
+        if cls is float or cls is int:
+            # Bare-delay yield (``yield worker.cpu(us)`` returns a float):
+            # push the resume record directly — the same ``(now + d,
+            # NORMAL, seq)`` heap tuple, at the same seq-allocation point,
+            # as ``yield sim.timeout(d)``, minus the Timeout object, its
+            # callbacks list, and the callback-append on resume.
+            if nxt < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {nxt!r}")
+            wake = _Wake()
+            wake._ok = True
+            wake._value = None
+            wake.callbacks = [self._bound_resume]
+            self._target = wake
+            seq = sim._seq
+            sim._seq = seq + 1
+            _heappush(sim._heap, (sim.now + nxt, NORMAL, seq, wake))
+            return
         if not isinstance(nxt, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded non-event {nxt!r}")
@@ -440,6 +498,33 @@ class Simulator:
     def schedule_call(self, delay: float, fn: Callable[[], None]) -> Event:
         """Run ``fn()`` after ``delay`` µs (no process needed)."""
         return _Call(self, delay, fn)
+
+    def schedule_call1(self, delay: float, fn: Callable[[Any], None],
+                       arg: Any) -> Event:
+        """Run ``fn(arg)`` after ``delay`` µs — closure-free
+        :meth:`schedule_call` for the per-message hot paths."""
+        return _Call1(self, delay, fn, arg)
+
+    def succeed_later(self, event: Event, delay: float,
+                      value: Any = None) -> None:
+        """Trigger ``event.succeed(value)`` after ``delay`` µs via one bare
+        wake record.
+
+        Schedule-identical to ``schedule_call(delay, lambda:
+        event.succeed(value))`` — same two-record dance, same seq
+        allocation points — without the _Call event or the closure.  The
+        value is pre-staged in the target's ``_value`` slot (observable
+        only through ``Event.value`` introspection before the trigger,
+        which nothing on these paths does).
+        """
+        event._value = value
+        wake = _Wake()
+        wake._ok = True
+        wake._value = event
+        wake.callbacks = [_succeed_stashed]
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (self.now + delay, NORMAL, seq, wake))
 
     def schedule_calls(self,
                        calls: Iterable[Tuple[float, Callable[[], None]]]

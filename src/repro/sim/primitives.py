@@ -101,8 +101,10 @@ class SpinLock:
             self.locked = True
             self.acquisitions += 1
             self._acq_time = self.sim.now
-            # Even an uncontended acquire costs a CAS.
-            self.sim.schedule_call(self.acquire_cost, lambda: ev.succeed())
+            # Even an uncontended acquire costs a CAS.  succeed_later is
+            # the slim form of schedule_call(cost, lambda: ev.succeed()):
+            # identical two-record schedule, no _Call/closure objects.
+            self.sim.succeed_later(ev, self.acquire_cost)
         else:
             self._waiters.append((self.sim.now, ev))
             self.max_queue = max(self.max_queue, len(self._waiters))
@@ -117,7 +119,7 @@ class SpinLock:
             self.acquisitions += 1
             self._acq_time = self.sim.now
             # Hand-off cost: the waiter's CAS finally succeeds.
-            self.sim.schedule_call(self.acquire_cost, lambda: ev.succeed())
+            self.sim.succeed_later(ev, self.acquire_cost)
         else:
             self.locked = False
 
@@ -242,9 +244,21 @@ class AtomicCell:
         return self._wrap(old)
 
     def _wrap(self, old: int) -> Event:
-        inner = self._line.request(self._service())
-        ev = Event(self.sim)
-        inner.add_callback(lambda _e: ev.succeed(old))
+        # Slim form of ``request() + Event + lambda callback``: the line's
+        # accounting is inlined (request() minus its Timeout) and the
+        # value-carrying grant is scheduled as one bare wake record at the
+        # same seq-allocation point the Timeout used to occupy.
+        line = self._line
+        sim = self.sim
+        now = sim.now
+        service = self._service()
+        start = now if now >= line.busy_until else line.busy_until
+        line.total_queued_us += start - now
+        line.busy_until = start + service
+        line.total_busy_us += service
+        line.served += 1
+        ev = Event(sim)
+        sim.succeed_later(ev, line.busy_until - now, old)
         return ev
 
     def load(self) -> int:

@@ -25,6 +25,9 @@ class FakeWorker:
     def lock(self, lk):
         yield lk.acquire()
 
+    def lock_acquired(self, lk, t0):
+        pass
+
 
 # ---------------------------------------------------------------------------
 # runtime shutdown with traffic still in flight

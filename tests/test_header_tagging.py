@@ -106,6 +106,9 @@ class FakeWorker:
     def lock(self, lk):
         yield lk.acquire()
 
+    def lock_acquired(self, lk, t0):
+        pass
+
 
 def test_tag_allocator_draws_disjoint_blocks():
     sim = Simulator()

@@ -19,6 +19,9 @@ class FakeWorker:
     def lock(self, lk):
         yield lk.acquire()
 
+    def lock_acquired(self, lk, t0):
+        pass
+
 
 def make_pair(params=DEFAULT_LCI_PARAMS):
     sim = Simulator()

@@ -154,6 +154,9 @@ def test_mpi_pending_rts_accounting():
         def lock(self, lk):
             yield lk.acquire()
 
+        def lock_acquired(self, lk, t0):
+            pass
+
     w = W()
 
     def run():

@@ -56,6 +56,9 @@ class FakeWorker:
     def lock(self, lk):
         yield lk.acquire()
 
+    def lock_acquired(self, lk, t0):
+        pass
+
 
 def test_wildcard_recv_does_not_steal_tagged_traffic():
     """An ANY_SOURCE/tag-0 header recv must not match tag-5 chunks."""

@@ -20,6 +20,9 @@ class FakeWorker:
     def lock(self, lk):
         yield lk.acquire()
 
+    def lock_acquired(self, lk, t0):
+        pass
+
 
 def make_pair(params=DEFAULT_MPI_PARAMS):
     sim = Simulator()

@@ -80,20 +80,76 @@ def test_validate_bench_flags_problems():
     assert validate_bench(figures_doc) == ["figures doc has no sweep timing"]
 
 
+def test_validate_bench_models_kind():
+    models_doc = {"schema": BENCH_SCHEMA, "kind": "models",
+                  "python": "3", "platform": "x", "generated_utc": "t",
+                  "repeats": 1, "scale": "smoke",
+                  "workloads": {"w": {"live_s": 0.5, "ref_s": 1.0,
+                                      "speedup": 2.0}},
+                  "speedup_min": 2.0, "speedup_geomean": 2.0}
+    assert validate_bench(models_doc) == []
+    models_doc["workloads"]["w"]["ref_s"] = 0
+    assert validate_bench(models_doc) == ["workload w: bad ref_s=0"]
+    del models_doc["workloads"]
+    assert any("no workloads" in e for e in validate_bench(models_doc))
+
+
+def test_bench_models_document_schema(monkeypatch):
+    """bench_models over a miniature real workload: identity + schema."""
+    from repro.bench.message_rate import MessageRateParams, run_message_rate
+
+    params = MessageRateParams(msg_size=8, batch=25, total_msgs=200,
+                               inject_rate_kps=200.0)
+    tiny = {"tiny_mpi_i":
+            lambda: run_message_rate("mpi_i", params, seed=7).as_dict()}
+    monkeypatch.setattr(perfbench, "_model_workloads", lambda full: tiny)
+    doc = perfbench.bench_models(repeats=1)
+    assert validate_bench(doc) == []
+    assert doc["kind"] == "models" and doc["scale"] == "smoke"
+    assert set(doc["workloads"]) == {"tiny_mpi_i"}
+    w = doc["workloads"]["tiny_mpi_i"]
+    assert w["speedup"] == pytest.approx(w["ref_s"] / w["live_s"], rel=0.01)
+    assert doc["speedup_min"] <= doc["speedup_geomean"]
+
+
+def test_bench_models_detects_divergence(monkeypatch):
+    """A workload whose result changes between runs must be rejected."""
+    import itertools
+    counter = itertools.count()
+    tiny = {"diverges": lambda: {"x": next(counter)}}
+    monkeypatch.setattr(perfbench, "_model_workloads", lambda full: tiny)
+    with pytest.raises(AssertionError, match="diverged"):
+        perfbench.bench_models(repeats=1)
+
+
+def test_model_workloads_cover_issue_surface():
+    """The macrobench must span fig1 points, the MT sweep, and Octo-Tiger."""
+    names = set(perfbench._model_workloads(full=False))
+    assert names == {"fig1_point_mpi_i", "fig1_point_lci_pin",
+                     "rate_sweep_lci_mt", "octotiger_step_mpi_i"}
+
+
 def test_committed_baselines_are_valid():
     """The BENCH_*.json files at the repo root must pass the validator."""
     from pathlib import Path
     root = Path(__file__).resolve().parent.parent
-    for fname in ("BENCH_kernel.json", "BENCH_figures.json"):
+    for fname in ("BENCH_kernel.json", "BENCH_models.json",
+                  "BENCH_figures.json"):
         path = root / fname
         assert path.exists(), f"{fname} baseline missing (run repro-fig perf)"
         doc = json.loads(path.read_text())
         assert validate_bench(doc) == [], fname
+    models = json.loads((root / "BENCH_models.json").read_text())
+    # the committed baseline documents the >=1.5x model-path target
+    assert models["speedup_geomean"] >= 1.5
 
 
 def test_run_perf_writes_valid_documents(tiny_workloads, tmp_path,
                                          monkeypatch, capsys):
-    # stub the (slow) figure bench; kernel bench runs tiny for real
+    # stub the (slow) figure and model benches; kernel bench runs tiny
+    monkeypatch.setattr(
+        perfbench, "_model_workloads",
+        lambda full: {"tiny": lambda: {"x": sum(range(200_000))}})
     monkeypatch.setattr(
         perfbench, "bench_figures",
         lambda full=False, jobs=None: {
@@ -106,6 +162,8 @@ def test_run_perf_writes_valid_documents(tiny_workloads, tmp_path,
     assert run_perf(out_dir=str(tmp_path)) == 0
     out = capsys.readouterr().out
     assert "kernel microbenchmarks" in out and "speedup" in out
-    for fname in ("BENCH_kernel.json", "BENCH_figures.json"):
+    assert "model macrobenchmarks" in out
+    for fname in ("BENCH_kernel.json", "BENCH_models.json",
+                  "BENCH_figures.json"):
         doc = json.loads((tmp_path / fname).read_text())
         assert validate_bench(doc) == []

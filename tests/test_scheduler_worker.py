@@ -63,6 +63,48 @@ def test_unregister_sleeper_tolerates_missing():
     sched.unregister_sleeper(ev)  # no-op, no exception
 
 
+@pytest.mark.parametrize("rng_seed", [3, 17, 101, 2024])
+def test_sleeper_cancellation_order_matches_linear_reference(rng_seed):
+    """Tombstoned wake list == the seed's O(n) list under random churn.
+
+    The scheduler replaced ``deque.remove`` (O(n) per timed-out sleeper)
+    with lazy tombstones plus periodic compaction.  That is purely a
+    representation change: under any interleaving of register /
+    unregister / notify the same events must wake, in the same order, as
+    the seed's plain remove-from-list implementation.
+    """
+    import random
+
+    rng = random.Random(rng_seed)
+    sim = Simulator()
+    sched = Scheduler(sim)
+    reference = []          # the seed behaviour: a list with .remove()
+    cancelled = []
+    for _ in range(800):
+        op = rng.random()
+        if op < 0.45 or not reference:
+            ev = Event(sim)
+            sched.register_sleeper(ev)
+            reference.append(ev)
+        elif op < 0.75:
+            # a sleeper times out and withdraws (cancellation path)
+            ev = reference.pop(rng.randrange(len(reference)))
+            sched.unregister_sleeper(ev)
+            cancelled.append(ev)
+        else:
+            n = rng.randrange(1, 4)
+            expect, rest = reference[:n], reference[n:]
+            sched.notify(n)
+            # exactly the first n live sleepers woke — FIFO order held
+            # at every step pins the global wake order
+            assert all(ev.triggered for ev in expect)
+            assert not any(ev.triggered for ev in rest)
+            reference = rest
+    sched.notify_all()
+    assert all(ev.triggered for ev in reference)
+    assert not any(ev.triggered for ev in cancelled)
+
+
 # ---------------------------------------------------------------------------
 # Worker behaviour
 # ---------------------------------------------------------------------------

@@ -207,10 +207,49 @@ def test_yield_non_event_raises():
     sim = Simulator()
 
     def bad(sim):
-        yield 42
+        yield "not an event"
 
     sim.process(bad(sim))
     with pytest.raises(SimulationError, match="non-event"):
+        sim.run()
+
+
+def test_yield_bare_delay_sleeps_like_timeout():
+    """A float/int yield is the fast-path spelling of ``sim.timeout(d)``:
+    same wake time, same number of heap records, same seq consumption."""
+    log = []
+
+    def float_proc(sim):
+        yield 3.0
+        log.append(("float", sim.now))
+        yield 2
+        log.append(("int", sim.now))
+
+    def timeout_proc(sim):
+        yield sim.timeout(3.0)
+        log.append(("timeout", sim.now))
+        yield sim.timeout(2)
+        log.append(("timeout", sim.now))
+
+    sim_a = Simulator()
+    sim_a.process(float_proc(sim_a))
+    sim_a.run()
+    sim_b = Simulator()
+    sim_b.process(timeout_proc(sim_b))
+    sim_b.run()
+    assert [t for _, t in log[:2]] == [t for _, t in log[2:]] == [3.0, 5.0]
+    assert sim_a.event_count == sim_b.event_count
+    assert sim_a._seq == sim_b._seq
+
+
+def test_yield_negative_delay_raises():
+    sim = Simulator()
+
+    def bad(sim):
+        yield -1.0
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError, match="negative delay"):
         sim.run()
 
 

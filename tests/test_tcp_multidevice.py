@@ -22,6 +22,9 @@ class FakeWorker:
     def lock(self, lk):
         yield lk.acquire()
 
+    def lock_acquired(self, lk, t0):
+        pass
+
 
 # ---------------------------------------------------------------------------
 # TCP stack

@@ -1,0 +1,53 @@
+"""Collectives workload: distributed-FFT transpose incast, five Table-1
+configuration families under credit-based flow control.
+
+Shape targets (EXPERIMENTS.md, "Collectives workload"):
+* the LCI ordering survives the fan-in traffic shape: the one-sided
+  pinned-progress variant clears the incast fastest, send/recv LCI
+  next, the MPI parcelports last;
+* throughput grows with problem size for every family (the incast is
+  throttled, not collapsed, by the credit window);
+* at the top of the size ladder flow control engages with no fault
+  plan: credit stalls for every family, deferred puts for the
+  immediate-mode ones, and a backlog_wait-dominated critical path for
+  the LCI families while MPI keeps burning time under the progress
+  lock.
+"""
+
+from conftest import run_once
+
+from repro.bench import fft_sweep
+
+
+def test_fft_sweep_shape(benchmark):
+    result = run_once(benchmark, fft_sweep, quick=True)
+    print("\n" + result.render())
+    lci = result.by_label("lci_psr_cq_pin_i")
+    lci_sr = result.by_label("lci_sr_cq_pin_i")
+    mpi = result.by_label("mpi")
+    mpi_i = result.by_label("mpi_i")
+    mpi_orig = result.by_label("mpi_orig")
+
+    # the paper's ordering under incast, at every ladder point
+    for i in range(len(lci.xs)):
+        assert lci.ys[i] > lci_sr.ys[i]
+        assert lci.ys[i] > 1.2 * max(mpi.ys[i], mpi_i.ys[i],
+                                     mpi_orig.ys[i])
+
+    # bigger transposes move more points/s despite the tight window
+    for s in (lci, lci_sr, mpi, mpi_i, mpi_orig):
+        assert all(b > a for a, b in zip(s.ys, s.ys[1:])), s.label
+
+    # top-of-ladder flow-control engagement, no fault plan involved
+    counters = result.meta["counters"]
+    for cfg, c in counters.items():
+        assert c["credit_stalls"] > 0, cfg
+    assert counters["lci_psr_cq_pin_i"]["puts_deferred"] > 0
+    assert counters["mpi_i"]["puts_deferred"] > 0
+
+    # critical path: incast backlog dominates for LCI; MPI still spends
+    # a large share under the progress lock
+    assert counters["lci_psr_cq_pin_i"]["backlog_pct"] > 50
+    assert counters["lci_psr_cq_pin_i"]["lock_wait_pct"] == 0
+    assert counters["mpi"]["lock_wait_pct"] > 30
+    assert result.meta["dominant"]["lci_psr_cq_pin_i"] == "backlog_wait"

@@ -1,0 +1,8 @@
+"""Distributed-FFT mini-app: the all-to-all incast workload (see
+docs/COLLECTIVES.md and the HPX FFT benchmark, arXiv 2504.03657)."""
+
+from .dft import fft, is_pow2, naive_dft, twiddle
+from .driver import COMPLEX_BYTES, FftConfig, FftDriver, FftResult
+
+__all__ = ["fft", "naive_dft", "twiddle", "is_pow2",
+           "FftConfig", "FftDriver", "FftResult", "COMPLEX_BYTES"]

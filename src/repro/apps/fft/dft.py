@@ -1,0 +1,72 @@
+"""Pure-Python Fourier kernels for the distributed-FFT mini-app.
+
+Everything here is deterministic floating point with a fixed operation
+order: two runs (any parcelport configuration, any seed for the network
+side) produce *bit-identical* complex values, which is what the test
+battery asserts when it compares the distributed pipeline across
+configurations.  ``naive_dft`` is the O(n²) reference the property
+tests check the fast path against.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Sequence
+
+__all__ = ["naive_dft", "fft", "twiddle", "is_pow2"]
+
+
+def is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def twiddle(n: int, exponent: int) -> complex:
+    """``exp(-2πi · exponent / n)`` — the DFT root-of-unity power."""
+    return cmath.exp(-2j * math.pi * (exponent % n) / n)
+
+
+def naive_dft(xs: Sequence[complex]) -> List[complex]:
+    """Textbook O(n²) DFT: ``X[k] = Σ_j x[j]·W_n^{jk}`` — the oracle."""
+    n = len(xs)
+    return [sum(xs[j] * twiddle(n, j * k) for j in range(n))
+            for k in range(n)]
+
+
+def fft(xs: Sequence[complex]) -> List[complex]:
+    """Iterative radix-2 Cooley-Tukey FFT (decimation in time).
+
+    Requires ``len(xs)`` to be a power of two.  Fixed butterfly order —
+    no data-dependent branching — so results are reproducible to the
+    bit across runs and platforms.
+    """
+    n = len(xs)
+    if not is_pow2(n):
+        raise ValueError(f"fft length must be a power of 2, got {n}")
+    out = list(xs)
+    # bit-reversal permutation
+    j = 0
+    for i in range(1, n):
+        bit = n >> 1
+        while j & bit:
+            j ^= bit
+            bit >>= 1
+        j |= bit
+        if i < j:
+            out[i], out[j] = out[j], out[i]
+    # butterflies
+    length = 2
+    while length <= n:
+        ang = -2.0 * math.pi / length
+        wlen = complex(math.cos(ang), math.sin(ang))
+        half = length // 2
+        for start in range(0, n, length):
+            w = 1.0 + 0.0j
+            for k in range(start, start + half):
+                u = out[k]
+                v = out[k + half] * w
+                out[k] = u + v
+                out[k + half] = u - v
+                w *= wlen
+        length <<= 1
+    return out

@@ -1,7 +1,9 @@
 """Benchmark harness: workloads + per-figure drivers (§4, §5)."""
 
-from .figures import (FIGURES, FigureResult, ablation_aggregation,
-                      ablation_mpi_pp, fig1, fig2, fig3, fig4, fig5, fig6,
+from .fft_bench import FftBenchParams, FftBenchResult, run_fft
+from .figures import (FFT_CONFIGS, FIGURES, FigureResult,
+                      ablation_aggregation, ablation_mpi_pp, fft_smoke,
+                      fft_sweep, fig1, fig2, fig3, fig4, fig5, fig6,
                       fig7, fig8, fig9, fig10, fig11, platform_tables,
                       table_abbreviations)
 from .harness import Measurement, Series, repeat
@@ -11,8 +13,8 @@ from .message_rate import (MessageRateParams, MessageRateResult,
 from .octotiger_bench import OctoTigerBenchParams, run_octotiger
 from .parallel import (ExecutionPolicy, PointTask, ResultCache,
                        code_fingerprint, evaluate_point, execution,
-                       latency_task, message_rate_task, octotiger_task,
-                       run_points, set_policy)
+                       fft_task, latency_task, message_rate_task,
+                       octotiger_task, run_points, set_policy)
 from .perfbench import bench_figures, bench_kernel, run_perf, validate_bench
 from .profiling import format_breakdown, lock_report, runtime_breakdown
 from .sweep import SweepResult, SweepSpec, run_sweep
@@ -23,6 +25,8 @@ __all__ = [
     "FIGURES", "FigureResult",
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
     "fig10", "fig11", "ablation_mpi_pp", "ablation_aggregation",
+    "fft_smoke", "fft_sweep", "FFT_CONFIGS",
+    "FftBenchParams", "FftBenchResult", "run_fft", "fft_task",
     "table_abbreviations", "platform_tables",
     "Measurement", "Series", "repeat",
     "LatencyParams", "LatencyResult", "run_latency",

@@ -23,8 +23,8 @@ from ..parcelport import ALL_LCI_VARIANTS, PPConfig, TABLE1
 from .harness import Measurement, Series, repeat
 from .latency import LatencyParams, run_latency
 from .message_rate import MessageRateParams, run_message_rate
-from .parallel import (latency_task, message_rate_task, octotiger_task,
-                       run_points)
+from .parallel import (fft_task, latency_task, message_rate_task,
+                       octotiger_task, run_points)
 from .reporting import (ascii_plot, format_bar_chart, format_series_table,
                         format_table)
 
@@ -33,8 +33,9 @@ __all__ = ["FigureResult", "FIGURES",
            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
            "fig7", "fig8", "fig9", "fig10", "fig11",
            "ablation_mpi_pp", "ablation_aggregation", "fault_smoke",
-           "overload_smoke", "trace_smoke",
-           "OVERLOAD_CONFIGS", "OVERLOAD_SPEC"]
+           "overload_smoke", "trace_smoke", "fft_smoke", "fft_sweep",
+           "OVERLOAD_CONFIGS", "OVERLOAD_SPEC",
+           "FFT_CONFIGS", "FFT_FLOW"]
 
 #: the 11 configurations of Figs 3/6/7/8/9
 ALL_CONFIGS = (["lci_psr_cq_pin"] + ALL_LCI_VARIANTS + ["mpi", "mpi_i"])
@@ -597,6 +598,152 @@ def trace_smoke(quick: bool = True, repeats: Optional[int] = None,
                         meta=meta)
 
 
+# ---------------------------------------------------------------------------
+# distributed-FFT incast figures (not paper figures: the collectives
+# workload of docs/COLLECTIVES.md — all-to-all transpose fan-in)
+# ---------------------------------------------------------------------------
+#: the five Table-1 configuration *families* the FFT workload compares:
+#: LCI one-sided (psr), LCI two-sided (sr), improved MPI (± immediate)
+#: and the original MPI parcelport — the overload_smoke set
+FFT_CONFIGS = ["lci_psr_cq_pin_i", "lci_sr_cq_pin_i", "mpi", "mpi_i",
+               "mpi_orig"]
+
+#: flow-control knobs for the incast runs: a 4-message credit window and
+#: a shallow sender backlog, so the transpose fan-in visibly engages
+#: credit stalls and deferred sends at the top of the size ladder
+FFT_FLOW = {"credit_window": 4, "max_backlog": 8}
+
+
+def _fft_breakdown(cfg: str, n: int, n_loc: int, seed: int
+                   ) -> "tuple[Dict[str, float], str, str]":
+    """Traced run of one FFT point: flow counters + critical-path shares.
+
+    Returns ``(counters, report, dominant)`` where the counters show the
+    incast story in one line — phase times, credit stalls / deferred
+    sends, and the share of delivery latency spent in the flow backlog
+    vs under the MPI progress lock vs in LCI polling.
+    """
+    from ..obs import analyze
+    from .fft_bench import FftBenchParams, run_fft
+
+    params = FftBenchParams(n1=n, n2=n, n_localities=n_loc, **FFT_FLOW)
+    res = run_fft(cfg, params, seed=seed, trace="parcel")
+    rep = analyze(res.obs)
+    shares = rep.shares()
+    counters = {
+        "row_fft1_us": res.phase_times_us["row_fft1"],
+        "transpose_us": res.phase_times_us["transpose"],
+        "row_fft2_us": res.phase_times_us["row_fft2"],
+        "credit_stalls": float(res.faults.get("credit_stalls", 0)),
+        "backlogged_sends": float(res.faults.get("backlogged_sends", 0)),
+        "puts_deferred": float(res.faults.get("puts_deferred", 0)),
+        "backlog_pct": 100 * shares.get("backlog_wait", 0.0),
+        "lock_wait_pct": 100 * shares.get("progress_lock_wait", 0.0),
+        "poll_pct": 100 * shares.get("progress_poll", 0.0),
+        "wire_pct": 100 * shares.get("wire", 0.0),
+    }
+    return counters, rep.render(), rep.dominant
+
+
+def fft_smoke(quick: bool = True, repeats: Optional[int] = None
+              ) -> FigureResult:
+    """Distributed FFT, one small problem per config family, traced.
+
+    The quick CI smoke for the collectives layer: runs a 16×16 (quick)
+    or 32×32 (full) four-locality FFT under flow control on each of the
+    five Table-1 config families and reports throughput, per-phase
+    times, flow-control counters and the critical-path decomposition of
+    the transpose incast.  Deterministic per seed, so ``repeats`` is
+    accepted for CLI uniformity but a single seed is measured.
+    """
+    n = 16 if quick else 32
+    n_loc = 4
+    seed = _seeds(1)[0]
+    series: List[Series] = []
+    counters: Dict[str, Dict[str, float]] = {}
+    reports: Dict[str, str] = {}
+    dominant: Dict[str, str] = {}
+    from .fft_bench import FftBenchParams
+    x = float(FftBenchParams(n1=n, n2=n,
+                             n_localities=n_loc).transpose_msg_bytes)
+    for cfg in FFT_CONFIGS:
+        ctrs, report, dom = _fft_breakdown(cfg, n, n_loc, seed)
+        total = (ctrs["row_fft1_us"] + ctrs["transpose_us"]
+                 + ctrs["row_fft2_us"])
+        s = Series(label=cfg)
+        s.xs.append(x)
+        s.ys.append((n * n) / total if total else 0.0)  # Mpoints/s
+        s.yerr.append(0.0)
+        series.append(s)
+        counters[cfg] = ctrs
+        reports[cfg] = report
+        dominant[cfg] = dom
+    return FigureResult("fft_smoke",
+                        f"Distributed FFT {n}x{n} on {n_loc} localities "
+                        f"(all-to-all incast, flow control on)",
+                        series, x_name="msg_bytes", y_name="Mpoints/s",
+                        meta={"n": n, "n_localities": n_loc,
+                              "flow": dict(FFT_FLOW), "counters": counters,
+                              "reports": reports, "dominant": dominant})
+
+
+def fft_sweep(quick: bool = True, repeats: Optional[int] = None
+              ) -> FigureResult:
+    """Distributed FFT sweeping the incast regime, per config family.
+
+    Sweeps the problem size (and with ``--full`` the locality count)
+    so the transpose's per-peer fan-in walks from a handful of small
+    messages into deep multi-fragment backlogs.  Every point runs under
+    flow control; the top of the ladder must show the credit machinery
+    engaging (``credit_stalls > 0`` — asserted by ``--validate`` and
+    the collectives test battery).  The meta carries, for the **highest
+    sweep point**, the flow counters of every config plus a traced
+    critical-path breakdown (incast backlog vs progress-lock wait vs
+    polling), mirroring the Fig. 7 narrative under fan-in pressure.
+    """
+    repeats = repeats or (1 if quick else 3)
+    n_loc = 4 if quick else 8
+    sizes = [16, 32, 64] if quick else [32, 64, 128]
+    seeds = _seeds(repeats)
+    from .fft_bench import FftBenchParams
+    tasks = [fft_task(cfg, n1=n, n2=n, n_localities=n_loc,
+                      platform=EXPANSE, seed=seed, **FFT_FLOW)
+             for cfg in FFT_CONFIGS for n in sizes for seed in seeds]
+    results = iter(run_points(tasks))
+    series = []
+    top_counters: Dict[str, Dict[str, float]] = {}
+    for cfg in FFT_CONFIGS:
+        s = Series(label=cfg)
+        for n in sizes:
+            res = _fold([next(results) for _ in seeds])
+            x = float(FftBenchParams(
+                n1=n, n2=n, n_localities=n_loc).transpose_msg_bytes)
+            s.add(x, res["points_per_second"])
+            if n == sizes[-1]:
+                top_counters[cfg] = {
+                    k.removeprefix("fault."): m.mean
+                    for k, m in sorted(res.items())
+                    if k.startswith("fault.") or k.endswith("_us")}
+        series.append(s)
+    # traced breakdown of the highest sweep point, per config
+    reports: Dict[str, str] = {}
+    dominant: Dict[str, str] = {}
+    for cfg in FFT_CONFIGS:
+        ctrs, report, dom = _fft_breakdown(cfg, sizes[-1], n_loc, seeds[0])
+        for k in ("backlog_pct", "lock_wait_pct", "poll_pct", "wire_pct"):
+            top_counters[cfg][k] = ctrs[k]
+        reports[cfg] = report
+        dominant[cfg] = dom
+    return FigureResult("fft_sweep",
+                        f"Distributed FFT size sweep on {n_loc} localities "
+                        f"(all-to-all incast, flow control on)",
+                        series, x_name="msg_bytes", y_name="points/s",
+                        meta={"sizes": sizes, "n_localities": n_loc,
+                              "repeats": repeats, "flow": dict(FFT_FLOW),
+                              "counters": top_counters,
+                              "reports": reports, "dominant": dominant})
+
+
 #: registry for the CLI
 FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig1": fig1, "fig2": fig2, "fig3": fig3, "fig4": fig4, "fig5": fig5,
@@ -607,4 +754,6 @@ FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fault_smoke": fault_smoke,
     "overload_smoke": overload_smoke,
     "trace_smoke": trace_smoke,
+    "fft_smoke": fft_smoke,
+    "fft_sweep": fft_sweep,
 }

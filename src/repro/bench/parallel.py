@@ -39,7 +39,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 __all__ = [
     "PointTask", "ResultCache", "ExecutionPolicy",
     "code_fingerprint", "evaluate_point", "run_points",
-    "message_rate_task", "latency_task", "octotiger_task",
+    "message_rate_task", "latency_task", "octotiger_task", "fft_task",
     "set_policy", "policy", "execution",
 ]
 
@@ -138,6 +138,20 @@ def octotiger_task(config: str, *, platform, n_localities: int,
                       "max_events": max_events}, seed)
 
 
+def fft_task(config: str, *, n1: int, n2: int, n_localities: int,
+             platform, seed: int, iterations: int = 1,
+             fragment: bool = True, credit_window: int = 0,
+             max_backlog: int = 0,
+             max_events: int = 20_000_000) -> PointTask:
+    return PointTask("fft", config,
+                     {"n1": n1, "n2": n2, "n_localities": n_localities,
+                      "iterations": iterations, "fragment": fragment,
+                      "credit_window": credit_window,
+                      "max_backlog": max_backlog,
+                      "platform": platform.name,
+                      "max_events": max_events}, seed)
+
+
 def evaluate_point(task: PointTask) -> Dict[str, float]:
     """Run one sweep point and return its flat metric dict.
 
@@ -161,6 +175,14 @@ def evaluate_point(task: PointTask) -> Dict[str, float]:
             msg_size=p["msg_size"], window=p["window"], steps=p["steps"],
             platform=_platform(p["platform"]), max_events=p["max_events"])
         return run_latency(task.config, params, seed=task.seed).as_dict()
+    if task.kind == "fft":
+        from .fft_bench import FftBenchParams, run_fft
+        params = FftBenchParams(
+            n1=p["n1"], n2=p["n2"], n_localities=p["n_localities"],
+            iterations=p["iterations"], fragment=p["fragment"],
+            credit_window=p["credit_window"], max_backlog=p["max_backlog"],
+            platform=_platform(p["platform"]), max_events=p["max_events"])
+        return run_fft(task.config, params, seed=task.seed).as_dict()
     if task.kind == "octotiger":
         from .octotiger_bench import OctoTigerBenchParams, run_octotiger
         params = OctoTigerBenchParams(

@@ -102,6 +102,25 @@ def _gap_grows(name: str, a: str, b: str) -> Check:
     return check
 
 
+def _counter_positive(name: str, key: str, configs: "List[str] | None" = None
+                      ) -> Check:
+    """``meta["counters"][cfg][key] > 0`` for every listed config."""
+
+    def check(result: FigureResult) -> CheckResult:
+        counters = result.meta.get("counters") or {}
+        who = configs if configs is not None else sorted(counters)
+        if not who:
+            return CheckResult(name, False, "no counters in meta")
+        vals = {c: counters.get(c, {}).get(key, 0.0) for c in who}
+        bad = [c for c, v in vals.items() if not v > 0]
+        return CheckResult(
+            name, not bad,
+            f"{key} > 0 for all of {who}" if not bad
+            else f"{key} not engaged for {bad}: {vals}")
+
+    return check
+
+
 #: per-figure shape targets (mirrors EXPERIMENTS.md)
 CHECKS: Dict[str, List[Check]] = {
     "fig1": [
@@ -150,6 +169,28 @@ CHECKS: Dict[str, List[Check]] = {
     "fig11": [
         _monotone_rising("lci_scales", "lci"),
         _monotone_rising("no_mpi_i_collapse_on_rostam", "mpi_i"),
+    ],
+    # collectives workload: the incast must engage flow control and the
+    # LCI designs must beat the MPI parcelports on the transpose
+    "fft_smoke": [
+        _ratio_check("lci_beats_mpi", "lci_psr_cq_pin_i", "mpi", 1.2),
+        _ratio_check("lci_beats_mpi_i", "lci_psr_cq_pin_i", "mpi_i", 1.2),
+        # aggregated mpi coalesces the smoke-size fan-in under the
+        # window, so only the immediate-mode configs are required here
+        _counter_positive("incast_engages_credits", "credit_stalls",
+                          ["lci_psr_cq_pin_i", "lci_sr_cq_pin_i",
+                           "mpi_i"]),
+    ],
+    "fft_sweep": [
+        _ratio_check("lci_beats_mpi_i_at_top", "lci_psr_cq_pin_i",
+                     "mpi_i", 1.2, where="final"),
+        _ratio_check("lci_beats_mpi_orig_at_top", "lci_psr_cq_pin_i",
+                     "mpi_orig", 1.2, where="final"),
+        _monotone_rising("throughput_grows_lci", "lci_psr_cq_pin_i"),
+        _counter_positive("incast_engages_credits_at_top",
+                          "credit_stalls"),
+        _counter_positive("incast_defers_sends_at_top", "puts_deferred",
+                          ["lci_psr_cq_pin_i", "mpi_i"]),
     ],
 }
 

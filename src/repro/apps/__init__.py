@@ -1,5 +1,5 @@
 """Application benchmarks built on the simulated HPX runtime."""
 
-from . import graphs, octotiger
+from . import graphs, octotiger, serve
 
-__all__ = ["octotiger", "graphs"]
+__all__ = ["octotiger", "graphs", "serve"]

@@ -1,0 +1,25 @@
+"""Open-loop RPC serving workload (see docs/SERVING.md).
+
+The third application workload after Octo-Tiger (neighbour exchange) and
+the distributed FFT (all-to-all incast): an open-loop request/response
+serving tier modeling millions of logical clients behind a gateway
+locality, with heavy-tailed payloads, per-request deadlines, and PR-2
+shedding acting as admission control.  The bench layer wraps it in
+:mod:`repro.bench.serve_bench`; the ``serve_smoke`` / ``serve_sweep``
+figures sweep offered load to locate each parcelport config family's
+saturation knee.
+"""
+
+from .arrivals import (ARRIVAL_KINDS, bounded_pareto, bounded_pareto_mean,
+                       bursty_arrival_times, poisson_arrival_times)
+from .driver import (Request, ServeConfig, ServeDriver, ServeResult,
+                     STATUS_FAILED, STATUS_OK, STATUS_PENDING,
+                     STATUS_SHED_REQ, STATUS_SHED_RESP)
+
+__all__ = [
+    "ServeConfig", "ServeDriver", "ServeResult", "Request",
+    "STATUS_PENDING", "STATUS_OK", "STATUS_SHED_REQ", "STATUS_SHED_RESP",
+    "STATUS_FAILED",
+    "poisson_arrival_times", "bursty_arrival_times",
+    "bounded_pareto", "bounded_pareto_mean", "ARRIVAL_KINDS",
+]

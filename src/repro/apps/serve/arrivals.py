@@ -1,0 +1,130 @@
+"""Deterministic open-loop arrival and size generators for the serving tier.
+
+Everything here is a pure function of a ``numpy.random.Generator`` (always
+a named :class:`~repro.sim.rng.RngPool` substream of the run seed), so the
+offered workload — arrival instants, client identities, payload sizes,
+service demands — is fixed before the simulation starts and is invariant
+under reruns, ``--jobs`` fan-out and cache warm/cold by construction.
+
+Two arrival processes:
+
+* **Poisson** — i.i.d. exponential inter-arrivals at the offered rate; the
+  classic open-loop baseline (memoryless, burstiness 1).
+* **Bursty (ON/OFF)** — a two-state modulated Poisson process whose ON
+  periods are heavy-tailed (bounded Pareto).  Aggregating many such
+  sources is the standard self-similar traffic construction (Willinger et
+  al.), so this models the "millions of clients behind a gateway whose
+  active population flickers" regime: the *long-run* offered rate equals
+  ``rate_kps``, but arrivals cluster into bursts that stress queues and
+  tail latency far beyond the Poisson case.
+
+Payload sizes are **bounded Pareto**: heavy-tailed like measured RPC/KV
+traffic (most requests tiny, rare ones huge) but with a hard cap so a
+single draw cannot blow the simulation budget.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+__all__ = ["poisson_arrival_times", "bursty_arrival_times",
+           "bounded_pareto", "bounded_pareto_mean", "ARRIVAL_KINDS"]
+
+#: recognised ``arrival=`` values (validated by :class:`..serve.ServeConfig`)
+ARRIVAL_KINDS = ("poisson", "bursty")
+
+
+def poisson_arrival_times(rng: np.random.Generator, rate_kps: float,
+                          horizon_us: float) -> List[float]:
+    """Arrival instants of a Poisson process on ``[0, horizon_us)``.
+
+    ``rate_kps`` is the aggregate offered rate in K requests per second
+    (== requests per millisecond), the same unit the message-rate figures
+    use for their x axis.
+    """
+    if rate_kps <= 0.0 or horizon_us <= 0.0:
+        return []
+    mean_gap_us = 1e3 / rate_kps
+    out: List[float] = []
+    t = float(rng.exponential(mean_gap_us))
+    while t < horizon_us:
+        out.append(t)
+        t += float(rng.exponential(mean_gap_us))
+    return out
+
+
+def bursty_arrival_times(rng: np.random.Generator, rate_kps: float,
+                         horizon_us: float, on_fraction: float = 0.4,
+                         mean_on_us: float = 150.0,
+                         alpha: float = 1.5) -> List[float]:
+    """Arrival instants of a heavy-tailed ON/OFF modulated Poisson process.
+
+    The source alternates ON periods (bounded-Pareto durations with shape
+    ``alpha`` and mean ``mean_on_us``) and OFF periods (exponential, sized
+    so ON periods cover ``on_fraction`` of time).  While ON, arrivals are
+    Poisson at ``rate_kps / on_fraction``, so the long-run offered rate is
+    exactly ``rate_kps`` — an apples-to-apples x axis with the Poisson
+    generator, with the variance concentrated into bursts.
+    """
+    if rate_kps <= 0.0 or horizon_us <= 0.0:
+        return []
+    if not 0.0 < on_fraction <= 1.0:
+        raise ValueError(f"on_fraction must be in (0, 1], got {on_fraction}")
+    burst_gap_us = 1e3 * on_fraction / rate_kps
+    mean_off_us = mean_on_us * (1.0 - on_fraction) / on_fraction
+    # Pareto lo bound giving mean ``mean_on_us`` at shape ``alpha`` (the
+    # hi bound caps a single burst at 16x the mean).
+    lo = mean_on_us * (alpha - 1.0) / alpha
+    hi = mean_on_us * 16.0
+    out: List[float] = []
+    t = 0.0
+    # Stationary-ish start: the first state is ON with prob. on_fraction.
+    on = bool(rng.random() < on_fraction)
+    while t < horizon_us:
+        if on:
+            end = t + bounded_pareto(rng, alpha, lo, hi)
+            a = t + float(rng.exponential(burst_gap_us))
+            while a < min(end, horizon_us):
+                out.append(a)
+                a += float(rng.exponential(burst_gap_us))
+            t = end
+        else:
+            t += float(rng.exponential(mean_off_us)) if mean_off_us > 0.0 \
+                else 0.0
+        on = not on
+    return out
+
+
+def bounded_pareto(rng: np.random.Generator, alpha: float, lo: float,
+                   hi: float) -> float:
+    """One draw from a bounded Pareto(``alpha``) on ``[lo, hi]``.
+
+    Inverse-CDF sampling: heavy-tailed below the cap, never above it.
+    ``lo == hi`` degenerates to the constant (handy for fixed-size
+    ablations).
+    """
+    if not (0.0 < lo <= hi):
+        raise ValueError(f"need 0 < lo <= hi, got [{lo}, {hi}]")
+    if alpha <= 0.0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    if lo == hi:
+        return float(lo)
+    u = float(rng.random())
+    la, ha = lo ** alpha, hi ** alpha
+    x = (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / alpha)
+    return float(min(max(x, lo), hi))
+
+
+def bounded_pareto_mean(alpha: float, lo: float, hi: float) -> float:
+    """Closed-form mean of the bounded Pareto (for capacity estimates)."""
+    if lo == hi:
+        return float(lo)
+    if math.isclose(alpha, 1.0):
+        return lo * hi / (hi - lo) * math.log(hi / lo)
+    la = lo ** alpha
+    frac = la / (1.0 - (lo / hi) ** alpha)
+    return frac * alpha / (alpha - 1.0) * (lo ** (1.0 - alpha)
+                                           - hi ** (1.0 - alpha))

@@ -1,12 +1,15 @@
 """Benchmark harness: workloads + per-figure drivers (§4, §5)."""
 
 from .fft_bench import FftBenchParams, FftBenchResult, run_fft
-from .figures import (FFT_CONFIGS, FIGURES, FigureResult,
+from .figures import (FFT_CONFIGS, FIGURES, SERVE_CONFIGS, FigureResult,
                       ablation_aggregation, ablation_mpi_pp, fft_smoke,
                       fft_sweep, fig1, fig2, fig3, fig4, fig5, fig6,
-                      fig7, fig8, fig9, fig10, fig11, platform_tables,
+                      fig7, fig8, fig9, fig10, fig11, find_knee,
+                      platform_tables, serve_smoke, serve_sweep,
                       table_abbreviations)
 from .harness import Measurement, Series, repeat
+from .seeds import derive_seed, repeat_seeds, substream_seeds
+from .serve_bench import ServeBenchParams, ServeBenchResult, run_serve
 from .latency import LatencyParams, LatencyResult, run_latency
 from .message_rate import (MessageRateParams, MessageRateResult,
                            run_message_rate)
@@ -14,7 +17,7 @@ from .octotiger_bench import OctoTigerBenchParams, run_octotiger
 from .parallel import (ExecutionPolicy, PointTask, ResultCache,
                        code_fingerprint, evaluate_point, execution,
                        fft_task, latency_task, message_rate_task,
-                       octotiger_task, run_points, set_policy)
+                       octotiger_task, run_points, serve_task, set_policy)
 from .perfbench import bench_figures, bench_kernel, run_perf, validate_bench
 from .profiling import format_breakdown, lock_report, runtime_breakdown
 from .sweep import SweepResult, SweepSpec, run_sweep
@@ -27,8 +30,11 @@ __all__ = [
     "fig10", "fig11", "ablation_mpi_pp", "ablation_aggregation",
     "fft_smoke", "fft_sweep", "FFT_CONFIGS",
     "FftBenchParams", "FftBenchResult", "run_fft", "fft_task",
+    "serve_smoke", "serve_sweep", "find_knee", "SERVE_CONFIGS",
+    "ServeBenchParams", "ServeBenchResult", "run_serve", "serve_task",
     "table_abbreviations", "platform_tables",
     "Measurement", "Series", "repeat",
+    "derive_seed", "repeat_seeds", "substream_seeds",
     "LatencyParams", "LatencyResult", "run_latency",
     "MessageRateParams", "MessageRateResult", "run_message_rate",
     "OctoTigerBenchParams", "run_octotiger",

@@ -24,9 +24,10 @@ from .harness import Measurement, Series, repeat
 from .latency import LatencyParams, run_latency
 from .message_rate import MessageRateParams, run_message_rate
 from .parallel import (fft_task, latency_task, message_rate_task,
-                       octotiger_task, run_points)
+                       octotiger_task, run_points, serve_task)
 from .reporting import (ascii_plot, format_bar_chart, format_series_table,
                         format_table)
+from .seeds import repeat_seeds
 
 __all__ = ["FigureResult", "FIGURES",
            "table_abbreviations", "platform_tables",
@@ -34,8 +35,10 @@ __all__ = ["FigureResult", "FIGURES",
            "fig7", "fig8", "fig9", "fig10", "fig11",
            "ablation_mpi_pp", "ablation_aggregation", "fault_smoke",
            "overload_smoke", "trace_smoke", "fft_smoke", "fft_sweep",
+           "serve_smoke", "serve_sweep", "find_knee",
            "OVERLOAD_CONFIGS", "OVERLOAD_SPEC",
-           "FFT_CONFIGS", "FFT_FLOW"]
+           "FFT_CONFIGS", "FFT_FLOW",
+           "SERVE_CONFIGS", "SERVE_FLOW", "SERVE_SLO_TARGET"]
 
 #: the 11 configurations of Figs 3/6/7/8/9
 ALL_CONFIGS = (["lci_psr_cq_pin"] + ALL_LCI_VARIANTS + ["mpi", "mpi_i"])
@@ -108,7 +111,7 @@ def platform_tables() -> str:
 # ---------------------------------------------------------------------------
 def _seeds(repeats: int) -> List[int]:
     """The exact seed sequence :func:`repro.bench.harness.repeat` uses."""
-    return [1000 + i * 7919 for i in range(repeats)]
+    return repeat_seeds(repeats)
 
 
 def _fold(results: Sequence[Dict[str, float]]) -> Dict[str, Measurement]:
@@ -744,6 +747,201 @@ def fft_sweep(quick: bool = True, repeats: Optional[int] = None
                               "reports": reports, "dominant": dominant})
 
 
+# ---------------------------------------------------------------------------
+# open-loop serving figures (not paper figures: the workload of
+# docs/SERVING.md — offered-load sweeps with shedding as admission control)
+# ---------------------------------------------------------------------------
+#: the five Table-1 configuration *families* the serving workload sweeps:
+#: LCI one-sided (psr), LCI two-sided (sr), improved MPI (± immediate)
+#: and the original MPI parcelport — the FFT/overload comparison set
+SERVE_CONFIGS = ["lci_psr_cq_pin_i", "lci_sr_cq_pin_i", "mpi", "mpi_i",
+                 "mpi_orig"]
+
+#: flow-control knobs for the serving runs: an 8-message credit window
+#: with shallow shed-mode backlogs, so past saturation the stack rejects
+#: excess requests (``ParcelShedError``) instead of queueing unboundedly
+SERVE_FLOW = {"credit_window": 8, "max_backlog": 16,
+              "max_queued_parcels": 64}
+
+#: SLO-attainment threshold that defines the saturation knee
+SERVE_SLO_TARGET = 0.9
+
+#: offered-load ladders (K requests/s); chosen so every config family's
+#: knee falls strictly inside the swept range (see docs/SERVING.md)
+_SERVE_LOADS_QUICK = [25.0, 50.0, 100.0, 150.0, 200.0, 300.0, 400.0]
+_SERVE_LOADS_FULL = [25.0, 50.0, 75.0, 100.0, 150.0, 200.0,
+                     300.0, 400.0, 600.0]
+
+#: the smoke's two operating points: comfortably below every knee, and
+#: far enough past all of them that every family sheds
+_SERVE_LIGHT_KPS = 50.0
+_SERVE_HEAVY_KPS = 1600.0
+
+
+def find_knee(loads: Sequence[float], attainments: Sequence[float],
+              target: float = SERVE_SLO_TARGET) -> float:
+    """The saturation knee: the largest offered load still meeting SLO.
+
+    Returns the largest ``loads[i]`` with ``attainments[i] >= target``,
+    or ``0.0`` when even the lightest point misses the target (the knee
+    sits below the swept range).  A knee equal to ``loads[-1]`` means the
+    sweep never saturated the config — both edge cases fail the
+    knee-inside-sweep validation check.
+    """
+    knee = 0.0
+    for load, att in zip(loads, attainments):
+        if att >= target:
+            knee = max(knee, load)
+    return knee
+
+
+def _serve_params(offered_kps: float, horizon_us: float):
+    from .serve_bench import ServeBenchParams
+
+    return ServeBenchParams(offered_kps=offered_kps, horizon_us=horizon_us,
+                            **SERVE_FLOW)
+
+
+def _serve_counters(d: Dict[str, float]) -> Dict[str, float]:
+    """The per-operating-point counter line of the serve figures."""
+    keys = ("goodput_kps", "slo_attainment", "p50_us", "p99_us", "p999_us",
+            "shed_requests", "shed_responses", "deadline_misses")
+    out = {k: d[k] for k in keys}
+    out["parcels_shed"] = d.get("fault.parcels_shed", 0.0)
+    out["credit_stalls"] = d.get("fault.credit_stalls", 0.0)
+    return out
+
+
+def _serve_breakdown(cfg: str, offered_kps: float, horizon_us: float,
+                     seed: int) -> "tuple[Dict[str, float], str, str]":
+    """Traced run of one serving point: SLO counters + critical path.
+
+    Returns ``(counters, report, dominant)``: goodput/attainment/tail
+    percentiles, shed and deadline-miss totals, flow-control engagement,
+    and the share of delivered-parcel latency spent in the shed-mode
+    backlog vs under the MPI progress lock vs in LCI polling.
+    """
+    from ..obs import analyze
+    from .serve_bench import run_serve
+
+    res = run_serve(cfg, _serve_params(offered_kps, horizon_us), seed=seed,
+                    trace="parcel")
+    rep = analyze(res.obs)
+    shares = rep.shares()
+    ctrs = _serve_counters(res.as_dict())
+    ctrs.update({
+        "backlog_pct": 100 * shares.get("backlog_wait", 0.0),
+        "lock_wait_pct": 100 * shares.get("progress_lock_wait", 0.0),
+        "poll_pct": 100 * shares.get("progress_poll", 0.0),
+        "wire_pct": 100 * shares.get("wire", 0.0),
+    })
+    return ctrs, rep.render(), rep.dominant
+
+
+def serve_smoke(quick: bool = True, repeats: Optional[int] = None
+                ) -> FigureResult:
+    """Open-loop serving at two operating points, below and past the knee.
+
+    The quick CI smoke for the serving subsystem: each config family
+    handles a light (100 K req/s) and a heavy (1600 K req/s) open-loop
+    request stream under shed-mode flow control.  Light must meet the
+    SLO outright; heavy must saturate — goodput collapses, the p99/p999
+    tail inflects past the deadline, and shedding engages as admission
+    control on every family.  The heavy point runs traced and reports
+    the critical-path decomposition of delivered parcels.  Deterministic
+    per seed, so ``repeats`` is accepted for CLI uniformity but a single
+    seed is measured.
+    """
+    from .serve_bench import run_serve
+
+    horizon = 2000.0 if quick else 4000.0
+    seed = _seeds(1)[0]
+    series: List[Series] = []
+    counters: Dict[str, Dict[str, float]] = {}
+    reports: Dict[str, str] = {}
+    dominant: Dict[str, str] = {}
+    for cfg in SERVE_CONFIGS:
+        light = run_serve(cfg, _serve_params(_SERVE_LIGHT_KPS, horizon),
+                          seed=seed).as_dict()
+        heavy_ctrs, report, dom = _serve_breakdown(
+            cfg, _SERVE_HEAVY_KPS, horizon, seed)
+        s = Series(label=cfg)
+        s.add(_SERVE_LIGHT_KPS, light["goodput_kps"])
+        s.add(_SERVE_HEAVY_KPS, heavy_ctrs["goodput_kps"])
+        series.append(s)
+        counters[f"{cfg}@light"] = _serve_counters(light)
+        counters[f"{cfg}@heavy"] = heavy_ctrs
+        reports[cfg] = report
+        dominant[cfg] = dom
+    return FigureResult("serve_smoke",
+                        "Open-loop serving below and past saturation "
+                        "(shed-mode flow control)",
+                        series, x_name="offered_kps", y_name="goodput K/s",
+                        meta={"horizon_us": horizon,
+                              "light_kps": _SERVE_LIGHT_KPS,
+                              "heavy_kps": _SERVE_HEAVY_KPS,
+                              "slo_target": SERVE_SLO_TARGET,
+                              "flow": dict(SERVE_FLOW),
+                              "counters": counters, "reports": reports,
+                              "dominant": dominant})
+
+
+def serve_sweep(quick: bool = True, repeats: Optional[int] = None
+                ) -> FigureResult:
+    """Offered-load sweep: locate each config family's saturation knee.
+
+    Walks the offered-load ladder per config family and reports goodput
+    (y), SLO attainment, and tail latency per point, then places each
+    family's saturation knee (the largest load with attainment >=
+    ``SERVE_SLO_TARGET``).  Past the knee the open-loop stream keeps
+    arriving, so goodput falls off its peak while p99 inflects and the
+    shed/deadline-miss counters engage — shedding as admission control.
+    The meta carries the per-family knees (``meta["knees"]``), the full
+    attainment/p99 curves, and the top-of-ladder counters the
+    ``--validate`` checks assert against.
+    """
+    repeats = repeats or 1
+    loads = _SERVE_LOADS_QUICK if quick else _SERVE_LOADS_FULL
+    horizon = 2000.0 if quick else 4000.0
+    seeds = _seeds(repeats)
+    tasks = [serve_task(cfg, offered_kps=kps, horizon_us=horizon,
+                        n_localities=4, platform=EXPANSE, seed=seed,
+                        **SERVE_FLOW)
+             for cfg in SERVE_CONFIGS for kps in loads for seed in seeds]
+    results = iter(run_points(tasks))
+    series = []
+    attainment: Dict[str, List[float]] = {}
+    p99: Dict[str, List[float]] = {}
+    knees: Dict[str, float] = {}
+    top_counters: Dict[str, Dict[str, float]] = {}
+    for cfg in SERVE_CONFIGS:
+        s = Series(label=cfg)
+        att: List[float] = []
+        tail: List[float] = []
+        for kps in loads:
+            res = _fold([next(results) for _ in seeds])
+            s.add(kps, res["goodput_kps"])
+            att.append(res["slo_attainment"].mean)
+            tail.append(res["p99_us"].mean)
+            if kps == loads[-1]:
+                top_counters[cfg] = _serve_counters(
+                    {k: m.mean for k, m in res.items()})
+        series.append(s)
+        attainment[cfg] = att
+        p99[cfg] = tail
+        knees[cfg] = find_knee(loads, att)
+    return FigureResult("serve_sweep",
+                        "Open-loop serving: goodput vs offered load "
+                        "(saturation knees per config family)",
+                        series, x_name="offered_kps", y_name="goodput K/s",
+                        meta={"loads": list(loads), "horizon_us": horizon,
+                              "repeats": repeats,
+                              "slo_target": SERVE_SLO_TARGET,
+                              "flow": dict(SERVE_FLOW),
+                              "knees": knees, "attainment": attainment,
+                              "p99_us": p99, "counters": top_counters})
+
+
 #: registry for the CLI
 FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig1": fig1, "fig2": fig2, "fig3": fig3, "fig4": fig4, "fig5": fig5,
@@ -756,4 +954,6 @@ FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "trace_smoke": trace_smoke,
     "fft_smoke": fft_smoke,
     "fft_sweep": fft_sweep,
+    "serve_smoke": serve_smoke,
+    "serve_sweep": serve_sweep,
 }

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Sequence
 
 from ..sim.stats import summarize
+from .seeds import REPEAT_BASE, repeat_seeds
 
 __all__ = ["Measurement", "repeat", "Series"]
 
@@ -39,20 +40,21 @@ class Measurement:
 
 
 def repeat(fn: Callable[..., Dict[str, float]], n: int = 3,
-           base_seed: int = 1000,
+           base_seed: int = REPEAT_BASE,
            fn_kwargs: "Dict[str, Any] | None" = None
            ) -> Dict[str, Measurement]:
     """Run ``fn(seed, **fn_kwargs)`` ``n`` times; aggregate each key.
 
-    ``fn_kwargs`` threads extra experiment knobs (e.g. a fault plan)
-    through to every repetition without wrapping ``fn`` in a lambda.
+    Seeds come from the shared :func:`repro.bench.seeds.repeat_seeds`
+    ladder (exactly the historical ``base + i*7919`` sequence), so the
+    sequential harness and the parallel sweep engine evaluate identical
+    points.  ``fn_kwargs`` threads extra experiment knobs (e.g. a fault
+    plan) through to every repetition without wrapping ``fn`` in a lambda.
     """
-    if n < 1:
-        raise ValueError("need at least one repetition")
     kw = fn_kwargs or {}
     acc: Dict[str, List[float]] = {}
-    for i in range(n):
-        out = fn(base_seed + i * 7919, **kw)
+    for seed in repeat_seeds(n, base=base_seed):
+        out = fn(seed, **kw)
         for k, v in out.items():
             acc.setdefault(k, []).append(float(v))
     return {k: Measurement(v) for k, v in acc.items()}

@@ -40,6 +40,7 @@ __all__ = [
     "PointTask", "ResultCache", "ExecutionPolicy",
     "code_fingerprint", "evaluate_point", "run_points",
     "message_rate_task", "latency_task", "octotiger_task", "fft_task",
+    "serve_task",
     "set_policy", "policy", "execution",
 ]
 
@@ -152,6 +153,25 @@ def fft_task(config: str, *, n1: int, n2: int, n_localities: int,
                       "max_events": max_events}, seed)
 
 
+def serve_task(config: str, *, offered_kps: float, horizon_us: float,
+               n_localities: int, platform, seed: int,
+               arrival: str = "poisson", slo_us: float = 200.0,
+               drain_us: float = 2000.0, n_clients: int = 1_000_000,
+               credit_window: int = 8, max_backlog: int = 16,
+               max_queued_parcels: int = 64,
+               max_events: int = 30_000_000) -> PointTask:
+    return PointTask("serve", config,
+                     {"offered_kps": offered_kps, "horizon_us": horizon_us,
+                      "n_localities": n_localities, "arrival": arrival,
+                      "slo_us": slo_us, "drain_us": drain_us,
+                      "n_clients": n_clients,
+                      "credit_window": credit_window,
+                      "max_backlog": max_backlog,
+                      "max_queued_parcels": max_queued_parcels,
+                      "platform": platform.name,
+                      "max_events": max_events}, seed)
+
+
 def evaluate_point(task: PointTask) -> Dict[str, float]:
     """Run one sweep point and return its flat metric dict.
 
@@ -183,6 +203,18 @@ def evaluate_point(task: PointTask) -> Dict[str, float]:
             credit_window=p["credit_window"], max_backlog=p["max_backlog"],
             platform=_platform(p["platform"]), max_events=p["max_events"])
         return run_fft(task.config, params, seed=task.seed).as_dict()
+    if task.kind == "serve":
+        from .serve_bench import ServeBenchParams, run_serve
+        params = ServeBenchParams(
+            offered_kps=p["offered_kps"], horizon_us=p["horizon_us"],
+            n_localities=p["n_localities"], arrival=p["arrival"],
+            slo_us=p["slo_us"], drain_us=p["drain_us"],
+            n_clients=p["n_clients"],
+            credit_window=p["credit_window"],
+            max_backlog=p["max_backlog"],
+            max_queued_parcels=p["max_queued_parcels"],
+            platform=_platform(p["platform"]), max_events=p["max_events"])
+        return run_serve(task.config, params, seed=task.seed).as_dict()
     if task.kind == "octotiger":
         from .octotiger_bench import OctoTigerBenchParams, run_octotiger
         params = OctoTigerBenchParams(

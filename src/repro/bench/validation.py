@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
-from .figures import FigureResult
+from .figures import SERVE_CONFIGS, FigureResult
 
 __all__ = ["CheckResult", "validate", "checks_for", "CHECKS"]
 
@@ -121,6 +121,104 @@ def _counter_positive(name: str, key: str, configs: "List[str] | None" = None
     return check
 
 
+def _counter_below(name: str, key: str, limit: float,
+                   configs: "List[str] | None" = None) -> Check:
+    """``meta["counters"][cfg][key] < limit`` for every listed config."""
+
+    def check(result: FigureResult) -> CheckResult:
+        counters = result.meta.get("counters") or {}
+        who = configs if configs is not None else sorted(counters)
+        if not who:
+            return CheckResult(name, False, "no counters in meta")
+        vals = {c: counters.get(c, {}).get(key, float("inf")) for c in who}
+        bad = [c for c, v in vals.items() if not v < limit]
+        return CheckResult(
+            name, not bad,
+            f"{key} < {limit:g} for all of {who}" if not bad
+            else f"{key} >= {limit:g} for {bad}: {vals}")
+
+    return check
+
+
+def _counter_at_least(name: str, key: str, floor: float,
+                      configs: "List[str] | None" = None) -> Check:
+    """``meta["counters"][cfg][key] >= floor`` for every listed config."""
+
+    def check(result: FigureResult) -> CheckResult:
+        counters = result.meta.get("counters") or {}
+        who = configs if configs is not None else sorted(counters)
+        if not who:
+            return CheckResult(name, False, "no counters in meta")
+        vals = {c: counters.get(c, {}).get(key, 0.0) for c in who}
+        bad = [c for c, v in vals.items() if not v >= floor]
+        return CheckResult(
+            name, not bad,
+            f"{key} >= {floor:g} for all of {who}" if not bad
+            else f"{key} < {floor:g} for {bad}: {vals}")
+
+    return check
+
+
+def _knee_inside_sweep(name: str) -> Check:
+    """Every family's saturation knee sits strictly inside the ladder.
+
+    ``meta["knees"][cfg] == 0`` means the family was saturated below the
+    lightest load; a knee at the heaviest load means the sweep never
+    saturated it — either way the sweep failed to *locate* the knee.
+    """
+
+    def check(result: FigureResult) -> CheckResult:
+        knees = result.meta.get("knees") or {}
+        loads = result.meta.get("loads") or []
+        if not knees or not loads:
+            return CheckResult(name, False, "no knees/loads in meta")
+        bad = {c: k for c, k in knees.items()
+               if not loads[0] <= k < loads[-1]}
+        return CheckResult(
+            name, not bad,
+            f"all knees inside [{loads[0]:g}, {loads[-1]:g}): {knees}"
+            if not bad else f"knees outside sweep: {bad} (all: {knees})")
+
+    return check
+
+
+def _knee_ordering(name: str, pairs: "List[tuple[str, str]]") -> Check:
+    """``knee[a] > knee[b]`` for every ``(a, b)`` pair."""
+
+    def check(result: FigureResult) -> CheckResult:
+        knees = result.meta.get("knees") or {}
+        if not knees:
+            return CheckResult(name, False, "no knees in meta")
+        bad = [f"{a}({knees.get(a, 0.0):g}) <= {b}({knees.get(b, 0.0):g})"
+               for a, b in pairs
+               if not knees.get(a, 0.0) > knees.get(b, 0.0)]
+        return CheckResult(
+            name, not bad,
+            f"knee ordering holds: {knees}" if not bad
+            else "; ".join(bad))
+
+    return check
+
+
+def _p99_inflects(name: str, factor: float) -> Check:
+    """p99 at the top of the ladder >= factor x p99 at the bottom."""
+
+    def check(result: FigureResult) -> CheckResult:
+        p99 = result.meta.get("p99_us") or {}
+        if not p99:
+            return CheckResult(name, False, "no p99_us in meta")
+        ratios = {c: (ys[-1] / ys[0] if ys[0] else float("inf"))
+                  for c, ys in p99.items()}
+        bad = [c for c, r in ratios.items() if not r >= factor]
+        return CheckResult(
+            name, not bad,
+            f"p99 inflates >= {factor:g}x for all: "
+            + ", ".join(f"{c}={r:.1f}x" for c, r in sorted(ratios.items()))
+            if not bad else f"p99 flat for {bad}: {ratios}")
+
+    return check
+
+
 #: per-figure shape targets (mirrors EXPERIMENTS.md)
 CHECKS: Dict[str, List[Check]] = {
     "fig1": [
@@ -191,6 +289,47 @@ CHECKS: Dict[str, List[Check]] = {
                           "credit_stalls"),
         _counter_positive("incast_defers_sends_at_top", "puts_deferred",
                           ["lci_psr_cq_pin_i", "mpi_i"]),
+    ],
+    # serving workload: below the knee every family meets the SLO; past
+    # it goodput collapses, the tail blows through the deadline, and the
+    # shed-mode flow control rejects the excess (admission control)
+    "serve_smoke": [
+        _counter_at_least("light_meets_slo", "slo_attainment", 0.99,
+                          [f"{c}@light" for c in SERVE_CONFIGS]),
+        _counter_below("heavy_saturates", "slo_attainment", 0.5,
+                       [f"{c}@heavy" for c in SERVE_CONFIGS]),
+        _counter_positive("heavy_sheds_requests", "shed_requests",
+                          [f"{c}@heavy" for c in SERVE_CONFIGS]),
+        _counter_positive("heavy_misses_deadlines", "deadline_misses",
+                          [f"{c}@heavy" for c in SERVE_CONFIGS]),
+        _counter_positive("heavy_engages_credits", "credit_stalls",
+                          [f"{c}@heavy" for c in SERVE_CONFIGS]),
+    ],
+    "serve_sweep": [
+        _knee_inside_sweep("knee_located_per_family"),
+        _knee_ordering("lci_knees_above_mpi",
+                       [("lci_psr_cq_pin_i", "mpi"),
+                        ("lci_psr_cq_pin_i", "mpi_i"),
+                        ("lci_psr_cq_pin_i", "mpi_orig"),
+                        ("lci_sr_cq_pin_i", "mpi"),
+                        ("lci_sr_cq_pin_i", "mpi_i"),
+                        ("lci_sr_cq_pin_i", "mpi_orig")]),
+        _p99_inflects("p99_inflects_past_knee", 3.0),
+        # goodput falls off its peak once the open-loop stream overruns
+        # the knee — the throughput-plateau half of the knee signature
+        _declines_from_peak("goodput_off_peak_lci_psr",
+                            "lci_psr_cq_pin_i", 0.95),
+        _declines_from_peak("goodput_off_peak_mpi", "mpi", 0.95),
+        _declines_from_peak("goodput_off_peak_mpi_orig", "mpi_orig", 0.95),
+        # admission control engages at the top of the ladder: the
+        # aggregated MPI parcelports coalesce under the parcel-queue
+        # bound at these loads, so request shedding is required of the
+        # immediate-mode configs and deadline misses of every family
+        _counter_positive("top_sheds_requests", "shed_requests",
+                          ["lci_psr_cq_pin_i", "lci_sr_cq_pin_i",
+                           "mpi_i"]),
+        _counter_positive("top_misses_deadlines", "deadline_misses"),
+        _counter_positive("top_engages_credits", "credit_stalls"),
     ],
 }
 

@@ -97,6 +97,9 @@ class Histogram:
     def p99(self) -> float:
         return self.percentile(99.0)
 
+    def p999(self) -> float:
+        return self.percentile(99.9)
+
     def as_dict(self) -> Dict[str, float]:
         return {f"{self.name}.count": float(self.count),
                 f"{self.name}.mean": self.mean,
@@ -210,6 +213,14 @@ def build_runtime_metrics(rt: Any) -> MetricsRegistry:
                 w.stats.accum.get("compute_us", 0.0))
             reg.counter("worker.lock_wait_us").inc(
                 w.stats.accum.get("lock_wait_us", 0.0))
+    serve = getattr(rt, "serve_stats", None)
+    if serve is not None:
+        for k, v in serve.counters.items():
+            reg.counter(f"serve.{k}").inc(v)
+        lat = serve.series.get("latency_us")
+        if lat is not None and len(lat):
+            h = reg.histogram("serve.latency_us")
+            h.observe_many(lat.values())
     obs = getattr(rt, "obs", None)
     if obs is not None:
         reg.counter("obs.spans").inc(len(obs))

@@ -72,6 +72,16 @@ class TimeSeries:
     def p99(self) -> float:
         return self.percentile(99.0)
 
+    def p999(self) -> float:
+        """The 99.9th percentile — the serving layer's tail-SLO number.
+
+        Same linear-interpolation semantics as every other percentile
+        here: with fewer than 1001 samples it interpolates between the
+        two largest order statistics and degenerates to :meth:`max` at
+        ``n == 1`` (exact small-sample behavior pinned by tests).
+        """
+        return self.percentile(99.9)
+
     def __len__(self) -> int:
         return len(self.samples)
 

@@ -176,8 +176,22 @@ def evaluate_point(task: PointTask) -> Dict[str, float]:
     """Run one sweep point and return its flat metric dict.
 
     Top-level (and argument-picklable) so :class:`ProcessPoolExecutor`
-    workers can execute it.
+    workers can execute it.  Under an active ``--shards N`` policy the
+    point is handed to the sharded engine
+    (:func:`repro.sim.shard.run_sharded_point`), which forks ``N`` shard
+    processes that each re-enter this function under a shard context —
+    the ``current_context()`` check keeps the recursion single-level.
     """
+    from ..sim.shard.context import ShardingUnsupported, current_context
+
+    if _POLICY.shards > 1 and current_context() is None:
+        if task.kind == "octotiger":
+            raise ShardingUnsupported(
+                "the octotiger proxy's result depends on cross-locality "
+                "scheduler state that the sharded engine does not merge; "
+                "run it without --shards")
+        from ..sim.shard.runner import run_sharded_point
+        return run_sharded_point(task, _POLICY.shards)
     p = dict(task.params)
     if task.kind == "message_rate":
         from .message_rate import MessageRateParams, run_message_rate
@@ -292,10 +306,18 @@ class ResultCache:
 # ---------------------------------------------------------------------------
 @dataclass
 class ExecutionPolicy:
-    """How sweep points are evaluated: fan-out width + result cache."""
+    """How sweep points are evaluated: fan-out width + result cache +
+    shard count for the conservative-parallel engine.
+
+    ``shards`` deliberately does **not** enter the cache key: shard-count
+    invariance (same bytes at any ``--shards N``) is part of the engine's
+    contract, so a result computed at one shard count is a valid cache
+    hit for every other.
+    """
 
     jobs: int = 1
     cache: Optional[ResultCache] = None
+    shards: int = 1
 
 
 _POLICY = ExecutionPolicy()
@@ -308,7 +330,8 @@ def policy() -> ExecutionPolicy:
 
 def set_policy(jobs: Optional[int] = None,
                cache_dir: "str | Path | None" = None,
-               no_cache: bool = False) -> ExecutionPolicy:
+               no_cache: bool = False,
+               shards: Optional[int] = None) -> ExecutionPolicy:
     """Configure the process-wide execution policy.
 
     ``cache_dir=None`` falls back to the ``REPRO_CACHE_DIR`` environment
@@ -319,6 +342,10 @@ def set_policy(jobs: Optional[int] = None,
         if jobs < 1:
             raise ValueError(f"--jobs must be >= 1, got {jobs}")
         _POLICY.jobs = jobs
+    if shards is not None:
+        if shards < 1:
+            raise ValueError(f"--shards must be >= 1, got {shards}")
+        _POLICY.shards = shards
     if no_cache:
         _POLICY.cache = None
     elif cache_dir is not None:
@@ -329,14 +356,14 @@ def set_policy(jobs: Optional[int] = None,
 
 
 @contextmanager
-def execution(jobs: int = 1, cache: "ResultCache | str | Path | None" = None
-              ) -> Iterator[ExecutionPolicy]:
+def execution(jobs: int = 1, cache: "ResultCache | str | Path | None" = None,
+              shards: int = 1) -> Iterator[ExecutionPolicy]:
     """Temporarily swap the execution policy (used by tests and drivers)."""
     global _POLICY
     prev = _POLICY
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
-    _POLICY = ExecutionPolicy(jobs=jobs, cache=cache)
+    _POLICY = ExecutionPolicy(jobs=jobs, cache=cache, shards=shards)
     try:
         yield _POLICY
     finally:
@@ -364,6 +391,10 @@ def run_points(tasks: Sequence[PointTask],
     pol = _POLICY
     if jobs is None:
         jobs = pol.jobs
+    if pol.shards > 1:
+        # Each point already fans out over shard processes; stacking a
+        # ProcessPoolExecutor on top would fork from daemonic workers.
+        jobs = 1
     if cache is None and not no_cache:
         cache = pol.cache
     if no_cache:

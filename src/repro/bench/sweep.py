@@ -142,8 +142,10 @@ def run_sweep(fn: Callable[..., Dict[str, float]], spec: SweepSpec,
     total = spec.size
     if jobs is None:
         jobs = policy().jobs
-    cells = [(point, spec.base_seed + rep * 7919)
-             for point in points for rep in range(spec.repeats)]
+    from .seeds import repeat_seeds
+    cells = [(point, seed)
+             for point in points
+             for seed in repeat_seeds(spec.repeats, base=spec.base_seed)]
 
     def fold(measurements) -> None:
         for done, ((point, seed), measurement) in enumerate(

@@ -56,6 +56,18 @@ __all__ = [
 URGENT = 0
 NORMAL = 1
 
+#: Wire deliveries are scheduled at their own priority level, between URGENT
+#: wake-ups and NORMAL events, with an *intrinsic* tie-break key in the seq
+#: slot: ``(src locality, per-source delivery sequence)`` instead of the
+#: global scheduling counter.  Co-temporal deliveries therefore order by
+#: (time, src, per-src order) — a property of the *traffic*, not of when the
+#: scheduling call happened to run — which is what makes the sharded engine's
+#: window-boundary imports land in exactly the sequential engine's order
+#: (see repro/sim/shard/ and docs/SHARDING.md).  Keys are tuples and plain
+#: seqs are ints, so the distinct priority level also keeps the heap's
+#: lexicographic compare from ever mixing the two.
+DELIVERY = 0.5
+
 
 class SimulationError(RuntimeError):
     """Raised for kernel-level misuse (double-trigger, run without events)."""
@@ -505,6 +517,32 @@ class Simulator:
         :meth:`schedule_call` for the per-message hot paths."""
         return _Call1(self, delay, fn, arg)
 
+    def schedule_delivery(self, delay: float, fn: Callable[[Any], None],
+                          arg: Any, key: Tuple[int, int]) -> Event:
+        """Run ``fn(arg)`` after ``delay`` µs at :data:`DELIVERY` priority
+        with the intrinsic tie-break ``key`` (``(src, per-src seq)``).
+
+        Used exclusively for wire deliveries (:meth:`repro.netsim.fabric.
+        Fabric.transmit` and the sharded engine's window imports): the key
+        replaces the global seq counter so co-temporal deliveries order by
+        traffic identity rather than by scheduling order, and no global seq
+        is consumed (later events keep the same *relative* seq order either
+        way).
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        ev = _Call1.__new__(_Call1)
+        ev.sim = self
+        ev.fn = fn
+        ev.arg = arg
+        ev.callbacks = [ev._invoke]
+        ev._value = None
+        ev._ok = True
+        ev.triggered = True
+        ev.processed = False
+        _heappush(self._heap, (self.now + delay, DELIVERY, key, ev))
+        return ev
+
     def succeed_later(self, event: Event, delay: float,
                       value: Any = None) -> None:
         """Trigger ``event.succeed(value)`` after ``delay`` µs via one bare
@@ -667,6 +705,58 @@ class Simulator:
         if deadline is not None and not self._heap:
             self.now = max(self.now, deadline)
         return None
+
+    def run_window(self, stop_before: float,
+                   stop_event: Optional[Event] = None,
+                   deadline: Optional[float] = None,
+                   max_events: Optional[int] = None) -> int:
+        """Process events strictly before ``stop_before``; return the count.
+
+        The sharded engine's inner loop (see :mod:`repro.sim.shard`): one
+        conservative time window executes every event with
+        ``t < stop_before`` — the exclusive bound is what guarantees a
+        cross-shard delivery scheduled *at* the horizon is never outrun.
+        ``stop_event`` mirrors :meth:`run`'s until-event cut (stop as soon
+        as it has been processed, leaving later events scheduled) and
+        ``deadline`` mirrors the inclusive float-until cut (``t <=
+        deadline``), so a windowed run makes exactly the sequential
+        kernel's stopping decision, just in horizon-sized slices.  Unlike
+        :meth:`run`, the clock is *not* advanced to the horizon — virtual
+        time only moves with events, and the barrier protocol reads
+        :meth:`peek` to agree on the next horizon.
+        """
+        heap = self._heap
+        pop = _heappop
+        limit = max_events if max_events is not None else float("inf")
+        now = self.now
+        processed = 0
+        try:
+            while heap:
+                if stop_event is not None and stop_event.callbacks is None:
+                    break
+                t = heap[0][0]
+                if t >= stop_before:
+                    break
+                if deadline is not None and t > deadline:
+                    break
+                if processed >= limit:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} "
+                        f"(possible livelock)")
+                item = pop(heap)
+                if t < now:
+                    raise SimulationError("time went backwards")
+                self.now = now = t
+                processed += 1
+                event = item[3]
+                callbacks = event.callbacks
+                event.callbacks = None
+                event.processed = True
+                for cb in callbacks:
+                    cb(event)
+        finally:
+            self.event_count += processed
+        return processed
 
     def peek(self) -> float:
         """Time of the next scheduled event (inf if none)."""

@@ -1,0 +1,28 @@
+"""Sharded conservative-parallel DES engine.
+
+Partitions a runtime's localities across OS worker processes; each shard
+runs the existing fast kernel (:mod:`repro.sim.core`) over its locality
+subset and the shards synchronize with a conservative time-window
+protocol whose lookahead is the fabric's wire latency.  See
+docs/SHARDING.md for the protocol, the determinism contract, and the
+derivation of the window width.
+
+Public surface:
+
+* :func:`run_sharded` / :func:`run_sharded_point` — evaluate a sweep
+  point under ``N`` shards (the ``--shards N`` CLI knob routes here);
+* :class:`ShardContext` / :func:`current_context` — the per-process
+  shard state the runtime and fabric consult;
+* :exc:`ShardStopped`, :exc:`LookaheadViolation`,
+  :exc:`ShardingUnsupported` — the engine's failure vocabulary.
+"""
+
+from .context import (LookaheadViolation, ShardContext, ShardStopped,
+                      ShardingUnsupported, current_context, set_current)
+from .runner import run_sharded, run_sharded_point
+
+__all__ = [
+    "ShardContext", "ShardStopped", "LookaheadViolation",
+    "ShardingUnsupported", "current_context", "set_current",
+    "run_sharded", "run_sharded_point",
+]

@@ -1,0 +1,220 @@
+"""Cross-shard message encoding: refs for live objects, values for data.
+
+The simulation's payloads are carried *by reference* — a :class:`NetMsg`
+payload routinely contains live objects (an MPI request, an LCI
+operation, a parcelport message) whose identity matters: the rendezvous
+protocols send a handle out in an RTS and expect the CTS/data leg to
+come back pointing at the *same* object.  Pickling those across a
+process boundary would fork their identity and silently decouple the
+two sides.
+
+So the codec splits the world in two:
+
+* **data** travels by value — primitives, containers, numpy arrays, and
+  the parcel-layer records (:class:`Parcel`/:class:`HpxMessage`) whose
+  contents are pure data;
+* **live objects** travel as a :class:`Ref` — ``(home shard, handle)``
+  plus a small read-only snapshot of the attributes remote code is
+  allowed to read (verified against every receiver in the tree: an MPI
+  RTS reader touches ``sreq.tag``, an LCI data reader touches
+  ``sop.payload``/``sop.tag``, nothing else).  Decoding a Ref on its
+  home shard resolves the handle back to the **original** object, so a
+  handle that round-trips (RTS out, CTS back) lands on the exact object
+  the protocol expects.  Decoding it anywhere else yields a
+  :class:`RemoteProxy` that serves the snapshot and fails loudly on any
+  other attribute — silent divergence is the one unacceptable outcome.
+
+Anything the codec does not recognise raises
+:exc:`~.context.ShardingUnsupported` instead of guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from .context import ShardingUnsupported
+
+__all__ = ["Ref", "RemoteProxy", "WireCodec"]
+
+
+@dataclass
+class Ref:
+    """A live object owned by shard ``home``, named by ``handle`` there."""
+    home: int
+    handle: int
+    cls: str
+    snap: Optional[dict] = None
+
+
+@dataclass
+class _MsgRec:
+    """A :class:`NetMsg` flattened to its slots (payload pre-encoded)."""
+    fields: dict
+
+
+class RemoteProxy:
+    """Stand-in for a live object homed on another shard.
+
+    Serves the snapshot attributes the protocols legitimately read on
+    the remote side; any other access is a sharding bug and raises."""
+
+    __slots__ = ("_ref", "_snap")
+
+    def __init__(self, ref: Ref, snap: dict):
+        object.__setattr__(self, "_ref", ref)
+        object.__setattr__(self, "_snap", snap)
+
+    def __getattr__(self, name: str) -> Any:
+        snap = object.__getattribute__(self, "_snap")
+        if name in snap:
+            return snap[name]
+        ref = object.__getattribute__(self, "_ref")
+        raise ShardingUnsupported(
+            f"remote code read {ref.cls}.{name} on a cross-shard proxy "
+            f"(homed on shard {ref.home}); that attribute is not part of "
+            f"the verified remote read-set — the sharded engine cannot "
+            f"run this protocol")
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        ref = object.__getattribute__(self, "_ref")
+        raise ShardingUnsupported(
+            f"remote code wrote {ref.cls}.{name} on a cross-shard proxy "
+            f"(homed on shard {ref.home}); cross-shard mutation is not "
+            f"supported")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        ref = object.__getattribute__(self, "_ref")
+        return f"<RemoteProxy {ref.cls}#{ref.handle}@shard{ref.home}>"
+
+
+class WireCodec:
+    """Per-shard encoder/decoder with the live-object handle registry."""
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self._next_handle = 0
+        #: handle -> original object (strong: a handle may resolve
+        #: several times — e.g. an sreq referenced by both CTS and data)
+        self._objects: Dict[int, Any] = {}
+        #: id(obj) -> (handle, obj): stable handles per object; the
+        #: second slot keeps the object alive so ids cannot be recycled
+        self._by_id: Dict[int, Tuple[int, Any]] = {}
+
+    # ------------------------------------------------------------------
+    def _handle_for(self, obj: Any) -> int:
+        ent = self._by_id.get(id(obj))
+        if ent is not None:
+            return ent[0]
+        h = self._next_handle
+        self._next_handle = h + 1
+        self._objects[h] = obj
+        self._by_id[id(obj)] = (h, obj)
+        return h
+
+    def _ref(self, obj: Any, snap: Optional[dict] = None) -> Ref:
+        return Ref(self.ctx.shard_id, self._handle_for(obj),
+                   type(obj).__name__, snap)
+
+    # ------------------------------------------------------------------
+    # NetMsg envelope
+    # ------------------------------------------------------------------
+    def encode_msg(self, msg) -> _MsgRec:
+        return _MsgRec({
+            "src": msg.src, "dst": msg.dst, "size": msg.size,
+            "kind": msg.kind, "tag": msg.tag,
+            "payload": self.encode(msg.payload),
+            "vchan": msg.vchan, "msg_id": msg.msg_id,
+            "inject_t": msg.inject_t, "arrive_t": msg.arrive_t,
+            "corrupted": msg.corrupted,
+        })
+
+    def decode_msg(self, rec: _MsgRec):
+        from ...netsim.message import NetMsg
+
+        msg = NetMsg.__new__(NetMsg)  # no fresh msg_id draw
+        fields = rec.fields
+        for slot in NetMsg.__slots__:
+            setattr(msg, slot, fields[slot])
+        msg.payload = self.decode(fields["payload"])
+        return msg
+
+    # ------------------------------------------------------------------
+    # values
+    # ------------------------------------------------------------------
+    def encode(self, v: Any) -> Any:
+        if v is None or isinstance(v, (bool, int, float, str, bytes)):
+            return v
+        if isinstance(v, tuple):
+            return tuple(self.encode(x) for x in v)
+        if isinstance(v, list):
+            return [self.encode(x) for x in v]
+        if isinstance(v, dict):
+            return {k: self.encode(x) for k, x in v.items()}
+        if isinstance(v, (Ref, _MsgRec)):
+            return v
+        if isinstance(v, RemoteProxy):
+            # Round trip: forward the original ref, not a proxy of it.
+            return object.__getattribute__(v, "_ref")
+
+        import numpy as np
+
+        from ...hpx_rt.future import Future, Latch
+        from ...hpx_rt.parcel import HpxMessage, Parcel
+        from ...lci_sim.completion import (CompletionQueue,
+                                           HandlerCompletion, Synchronizer)
+        from ...lci_sim.device import LciOp
+        from ...mpi_sim.request import Request
+        from ...netsim.message import NetMsg
+        from ...parcelport.base import Connection
+        from ...sim.core import Event
+
+        if isinstance(v, (np.ndarray, np.generic)):
+            return v
+        if isinstance(v, (Parcel, HpxMessage)):
+            # Pure-data records; pickled by value (pickle restores the
+            # stored pid/mid without drawing fresh ids).
+            return v
+        if isinstance(v, Request):
+            return self._ref(v, {"kind": v.kind, "peer": v.peer,
+                                 "size": v.size, "tag": v.tag,
+                                 "rid": v.rid})
+        if isinstance(v, LciOp):
+            return self._ref(v, {"kind": v.kind, "peer": v.peer,
+                                 "size": v.size, "tag": v.tag,
+                                 "oid": v.oid, "comp": None, "ctx": None,
+                                 "payload": self.encode(v.payload)})
+        if isinstance(v, NetMsg):
+            return self.encode_msg(v)
+        if isinstance(v, (Connection, CompletionQueue, Synchronizer,
+                          HandlerCompletion, Event, Future, Latch)):
+            # Includes Process (an Event subclass): opaque — only the
+            # home shard may touch it.
+            return self._ref(v)
+        raise ShardingUnsupported(
+            f"cannot ship a {type(v).__name__} across shards: no wire "
+            f"rule for it (payload={v!r})")
+
+    def decode(self, v: Any) -> Any:
+        if v is None or isinstance(v, (bool, int, float, str, bytes)):
+            return v
+        if isinstance(v, Ref):
+            if v.home == self.ctx.shard_id:
+                try:
+                    return self._objects[v.handle]
+                except KeyError:
+                    raise ShardingUnsupported(
+                        f"stale cross-shard handle {v.cls}#{v.handle} "
+                        f"came home to shard {v.home}") from None
+            snap = ({k: self.decode(x) for k, x in v.snap.items()}
+                    if v.snap else {})
+            return RemoteProxy(v, snap)
+        if isinstance(v, _MsgRec):
+            return self.decode_msg(v)
+        if isinstance(v, tuple):
+            return tuple(self.decode(x) for x in v)
+        if isinstance(v, list):
+            return [self.decode(x) for x in v]
+        if isinstance(v, dict):
+            return {k: self.decode(x) for k, x in v.items()}
+        return v

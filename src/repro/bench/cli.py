@@ -32,9 +32,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Regenerate tables/figures from the LCI-parcelport "
                     "paper inside the simulator.")
     parser.add_argument("figure",
-                        choices=sorted(FIGURES) + ["tables", "all", "perf"],
+                        choices=sorted(FIGURES) + ["tables", "all", "perf",
+                                                   "tune"],
                         help="which figure to regenerate ('perf' runs the "
-                             "wall-clock benchmark harness)")
+                             "wall-clock benchmark harness, 'tune' the "
+                             "config auto-tuner; see docs/TUNING.md)")
     parser.add_argument("--full", action="store_true",
                         help="run the full (paper-scale) sweep instead of "
                              "the quick one")
@@ -59,8 +61,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="disable the result cache even if --cache or "
                              "$REPRO_CACHE_DIR is set")
     parser.add_argument("--bench-out", metavar="DIR", default=".",
-                        help="directory for the perf harness's "
+                        help="directory for the perf/tune harnesses' "
                              "BENCH_*.json files (default: .)")
+    parser.add_argument("--tune-workload", metavar="NAME", default=None,
+                        choices=["message_rate", "fft", "serve"],
+                        help="workload the auto-tuner searches over "
+                             "(default: serve; only applies to 'tune')")
     parser.add_argument("--no-plot", action="store_true",
                         help="suppress the ASCII chart")
     parser.add_argument("--faults", metavar="SPEC", default=None,
@@ -129,6 +135,14 @@ def _dispatch(args: argparse.Namespace,
         from .perfbench import run_perf
         return run_perf(full=args.full, out_dir=args.bench_out,
                         jobs=args.jobs)
+
+    if args.figure == "tune":
+        from ..adapt.tuner import run_tune
+        return run_tune(workload=args.tune_workload,
+                        full=args.full, out_dir=args.bench_out,
+                        repeats=args.repeats)
+    if args.tune_workload is not None:
+        parser.error("--tune-workload only applies to tune")
 
     if args.faults is not None:
         try:

@@ -74,6 +74,8 @@ class FftBenchResult:
     #: excluded from :meth:`as_dict` so traced runs report identically
     obs: Any = None
     metrics: Any = None
+    #: AdaptiveController summary (empty without adaptation)
+    adapt: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, float]:
         out = {
@@ -86,6 +88,8 @@ class FftBenchResult:
         if self.faults:
             for k, v in sorted(self.faults.items()):
                 out[f"fault.{k}"] = float(v)
+        for k, v in sorted(self.adapt.items()):
+            out[f"adapt.{k}"] = float(v)
         return out
 
 
@@ -93,7 +97,8 @@ def run_fft(config: "PPConfig | str", params: FftBenchParams,
             seed: int = 0xC0FFEE,
             fault_plan: Optional[FaultPlan] = None,
             retry_policy: Optional[RetryPolicy] = None,
-            trace: "str | bool | None" = None) -> FftBenchResult:
+            trace: "str | bool | None" = None,
+            adapt: Any = None) -> FftBenchResult:
     """One full distributed-FFT run for one configuration."""
     if isinstance(config, str):
         config = PPConfig.parse(config)
@@ -103,6 +108,8 @@ def run_fft(config: "PPConfig | str", params: FftBenchParams,
     if flow is not None:
         # credits ride on the reliability layer's end-to-end acks
         kw["reliable"] = True
+    if adapt is not None:
+        kw["adapt"] = adapt
     rt = make_runtime(config, platform=p.platform,
                       n_localities=p.n_localities, seed=seed,
                       fault_plan=fault_plan, retry_policy=retry_policy,
@@ -121,4 +128,5 @@ def run_fft(config: "PPConfig | str", params: FftBenchParams,
         faults=rt.fault_summary()
         if (fault_plan is not None or flow is not None) else {},
         obs=rt.obs,
-        metrics=rt.metrics() if rt.obs is not None else None)
+        metrics=rt.metrics() if rt.obs is not None else None,
+        adapt=rt.adapt.summary() if rt.adapt is not None else {})

@@ -942,6 +942,54 @@ def serve_sweep(quick: bool = True, repeats: Optional[int] = None
                               "p99_us": p99, "counters": top_counters})
 
 
+# ---------------------------------------------------------------------------
+# adaptive-policy smoke (not a paper figure: exercises repro.adapt)
+# ---------------------------------------------------------------------------
+def adapt_smoke(quick: bool = True,
+                repeats: Optional[int] = None) -> FigureResult:
+    """Message rate with the adaptive controller on vs off (8 B).
+
+    Runs the aggregated ``lci_psr_cq_pin`` config plain and with the
+    tuned aggregation-hold adaptive spec (``docs/TUNING.md``), proving
+    (a) the controller engages (tick/retune counters in the meta) and
+    (b) adaptation helps rather than hurts at saturation.
+    """
+    from ..adapt import AdaptiveSpec
+    repeats = repeats or 1
+    total = 2000 if quick else 8000
+    cfg = "lci_psr_cq_pin"
+    spec = AdaptiveSpec(agg_hold_init=1024, agg_hold_max=16384)
+    rates = [400.0, None]
+    seeds = _seeds(repeats)
+    variants = [(cfg, None), (f"{cfg}+adapt", spec.as_dict())]
+    tasks = [message_rate_task(cfg, msg_size=8, batch=100, total_msgs=total,
+                               inject_rate_kps=rate, platform=EXPANSE,
+                               seed=seed, adapt=adapt)
+             for _label, adapt in variants for rate in rates
+             for seed in seeds]
+    results = iter(run_points(tasks))
+    series = []
+    counters: Dict[str, Dict[str, float]] = {}
+    for label, adapt in variants:
+        s = Series(label=label)
+        for _rate in rates:
+            res = _fold([next(results) for _ in seeds])
+            s.add(res["achieved_injection_kps"].mean,
+                  res["message_rate_kps"])
+        if adapt is not None:
+            # The unlimited-rate point's controller counters.
+            counters[label] = {k[len("adapt."):]: m.mean
+                               for k, m in res.items()
+                               if k.startswith("adapt.")}
+        series.append(s)
+    return FigureResult("adapt_smoke",
+                        "Message rate with adaptive policies (8B)",
+                        series, x_name="achieved K/s", y_name="rate K/s",
+                        meta={"total": total, "repeats": repeats,
+                              "adapt": spec.as_dict(),
+                              "counters": counters})
+
+
 #: registry for the CLI
 FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig1": fig1, "fig2": fig2, "fig3": fig3, "fig4": fig4, "fig5": fig5,
@@ -956,4 +1004,5 @@ FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fft_sweep": fft_sweep,
     "serve_smoke": serve_smoke,
     "serve_sweep": serve_sweep,
+    "adapt_smoke": adapt_smoke,
 }

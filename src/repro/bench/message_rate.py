@@ -61,6 +61,8 @@ class MessageRateResult:
     obs: Any = None
     #: the run's MetricsRegistry when tracing was requested (else None)
     metrics: Any = None
+    #: AdaptiveController summary (empty without adaptation)
+    adapt: Dict[str, float] = field(default_factory=dict)
 
     @property
     def achieved_injection_kps(self) -> float:
@@ -83,6 +85,9 @@ class MessageRateResult:
             out["failed_msgs"] = float(self.failed_msgs)
             for k, v in sorted(self.faults.items()):
                 out[f"fault.{k}"] = float(v)
+        # Same contract for adaptation: keys appear only when it ran.
+        for k, v in sorted(self.adapt.items()):
+            out[f"adapt.{k}"] = float(v)
         return out
 
 
@@ -91,7 +96,8 @@ def run_message_rate(config: "PPConfig | str", params: MessageRateParams,
                      fault_plan: Optional[FaultPlan] = None,
                      retry_policy: Optional[RetryPolicy] = None,
                      flow_policy: Optional[FlowControlPolicy] = None,
-                     trace: "str | bool | None" = None
+                     trace: "str | bool | None" = None,
+                     adapt: Any = None
                      ) -> MessageRateResult:
     """One full message-rate run for one configuration.
 
@@ -107,9 +113,12 @@ def run_message_rate(config: "PPConfig | str", params: MessageRateParams,
     n_tasks, rem = divmod(p.total_msgs, p.batch)
     if rem:
         raise ValueError("total_msgs must be a multiple of batch")
+    kw: Dict[str, Any] = {}
+    if adapt is not None:
+        kw["adapt"] = adapt
     rt = make_runtime(config, platform=p.platform, n_localities=2, seed=seed,
                       fault_plan=fault_plan, retry_policy=retry_policy,
-                      flow_policy=flow_policy, trace=trace)
+                      flow_policy=flow_policy, trace=trace, **kw)
     sim = rt.sim
 
     state = {"received": 0, "failed": 0, "tasks_done": 0,
@@ -185,4 +194,5 @@ def run_message_rate(config: "PPConfig | str", params: MessageRateParams,
         faults=rt.fault_summary()
         if (fault_plan is not None or flow_policy is not None) else {},
         obs=rt.obs,
-        metrics=rt.metrics() if rt.obs is not None else None)
+        metrics=rt.metrics() if rt.obs is not None else None,
+        adapt=rt.adapt.summary() if rt.adapt is not None else {})

@@ -111,13 +111,18 @@ def _platform(name: str):
 def message_rate_task(config: str, *, msg_size: int, batch: int,
                       total_msgs: int, inject_rate_kps: Optional[float],
                       platform, seed: int,
+                      adapt: Optional[Dict[str, Any]] = None,
                       max_events: int = 30_000_000) -> PointTask:
-    return PointTask("message_rate", config,
-                     {"msg_size": msg_size, "batch": batch,
-                      "total_msgs": total_msgs,
-                      "inject_rate_kps": inject_rate_kps,
-                      "platform": platform.name,
-                      "max_events": max_events}, seed)
+    params = {"msg_size": msg_size, "batch": batch,
+              "total_msgs": total_msgs,
+              "inject_rate_kps": inject_rate_kps,
+              "platform": platform.name,
+              "max_events": max_events}
+    if adapt is not None:
+        # Key appears only when adaptation is on, so every pre-existing
+        # cache key (and its cached result) stays valid.
+        params["adapt"] = dict(adapt)
+    return PointTask("message_rate", config, params, seed)
 
 
 def latency_task(config: str, *, msg_size: int, window: int, steps: int,
@@ -143,14 +148,17 @@ def fft_task(config: str, *, n1: int, n2: int, n_localities: int,
              platform, seed: int, iterations: int = 1,
              fragment: bool = True, credit_window: int = 0,
              max_backlog: int = 0,
+             adapt: Optional[Dict[str, Any]] = None,
              max_events: int = 20_000_000) -> PointTask:
-    return PointTask("fft", config,
-                     {"n1": n1, "n2": n2, "n_localities": n_localities,
-                      "iterations": iterations, "fragment": fragment,
-                      "credit_window": credit_window,
-                      "max_backlog": max_backlog,
-                      "platform": platform.name,
-                      "max_events": max_events}, seed)
+    params = {"n1": n1, "n2": n2, "n_localities": n_localities,
+              "iterations": iterations, "fragment": fragment,
+              "credit_window": credit_window,
+              "max_backlog": max_backlog,
+              "platform": platform.name,
+              "max_events": max_events}
+    if adapt is not None:
+        params["adapt"] = dict(adapt)
+    return PointTask("fft", config, params, seed)
 
 
 def serve_task(config: str, *, offered_kps: float, horizon_us: float,
@@ -159,17 +167,20 @@ def serve_task(config: str, *, offered_kps: float, horizon_us: float,
                drain_us: float = 2000.0, n_clients: int = 1_000_000,
                credit_window: int = 8, max_backlog: int = 16,
                max_queued_parcels: int = 64,
+               adapt: Optional[Dict[str, Any]] = None,
                max_events: int = 30_000_000) -> PointTask:
-    return PointTask("serve", config,
-                     {"offered_kps": offered_kps, "horizon_us": horizon_us,
-                      "n_localities": n_localities, "arrival": arrival,
-                      "slo_us": slo_us, "drain_us": drain_us,
-                      "n_clients": n_clients,
-                      "credit_window": credit_window,
-                      "max_backlog": max_backlog,
-                      "max_queued_parcels": max_queued_parcels,
-                      "platform": platform.name,
-                      "max_events": max_events}, seed)
+    params = {"offered_kps": offered_kps, "horizon_us": horizon_us,
+              "n_localities": n_localities, "arrival": arrival,
+              "slo_us": slo_us, "drain_us": drain_us,
+              "n_clients": n_clients,
+              "credit_window": credit_window,
+              "max_backlog": max_backlog,
+              "max_queued_parcels": max_queued_parcels,
+              "platform": platform.name,
+              "max_events": max_events}
+    if adapt is not None:
+        params["adapt"] = dict(adapt)
+    return PointTask("serve", config, params, seed)
 
 
 def evaluate_point(task: PointTask) -> Dict[str, float]:
@@ -190,9 +201,21 @@ def evaluate_point(task: PointTask) -> Dict[str, float]:
                 "the octotiger proxy's result depends on cross-locality "
                 "scheduler state that the sharded engine does not merge; "
                 "run it without --shards")
+        if "adapt" in task.params:
+            raise ShardingUnsupported(
+                "adaptive policies (adapt=) are not supported under "
+                "--shards > 1: the controller's shared state spans "
+                "localities that live on different shards")
         from ..sim.shard.runner import run_sharded_point
         return run_sharded_point(task, _POLICY.shards)
     p = dict(task.params)
+
+    def _adapt_spec():
+        if "adapt" not in p:
+            return None
+        from ..adapt import AdaptiveSpec
+        return AdaptiveSpec.from_dict(p["adapt"])
+
     if task.kind == "message_rate":
         from .message_rate import MessageRateParams, run_message_rate
         params = MessageRateParams(
@@ -202,7 +225,8 @@ def evaluate_point(task: PointTask) -> Dict[str, float]:
             platform=_platform(p["platform"]),
             max_events=p["max_events"])
         return run_message_rate(task.config, params,
-                                seed=task.seed).as_dict()
+                                seed=task.seed,
+                                adapt=_adapt_spec()).as_dict()
     if task.kind == "latency":
         from .latency import LatencyParams, run_latency
         params = LatencyParams(
@@ -216,7 +240,8 @@ def evaluate_point(task: PointTask) -> Dict[str, float]:
             iterations=p["iterations"], fragment=p["fragment"],
             credit_window=p["credit_window"], max_backlog=p["max_backlog"],
             platform=_platform(p["platform"]), max_events=p["max_events"])
-        return run_fft(task.config, params, seed=task.seed).as_dict()
+        return run_fft(task.config, params, seed=task.seed,
+                       adapt=_adapt_spec()).as_dict()
     if task.kind == "serve":
         from .serve_bench import ServeBenchParams, run_serve
         params = ServeBenchParams(
@@ -228,7 +253,8 @@ def evaluate_point(task: PointTask) -> Dict[str, float]:
             max_backlog=p["max_backlog"],
             max_queued_parcels=p["max_queued_parcels"],
             platform=_platform(p["platform"]), max_events=p["max_events"])
-        return run_serve(task.config, params, seed=task.seed).as_dict()
+        return run_serve(task.config, params, seed=task.seed,
+                         adapt=_adapt_spec()).as_dict()
     if task.kind == "octotiger":
         from .octotiger_bench import OctoTigerBenchParams, run_octotiger
         params = OctoTigerBenchParams(

@@ -447,7 +447,7 @@ def validate_bench(doc: Dict[str, Any]) -> List[str]:
     if doc.get("schema") != BENCH_SCHEMA:
         errors.append(f"schema != {BENCH_SCHEMA!r}: {doc.get('schema')!r}")
     kind = doc.get("kind")
-    if kind not in ("kernel", "models", "figures", "shards"):
+    if kind not in ("kernel", "models", "figures", "shards", "tune"):
         errors.append(f"unknown kind {kind!r}")
     for key in ("python", "platform", "generated_utc", "repeats", "scale"):
         if key not in doc:
@@ -511,6 +511,48 @@ def validate_bench(doc: Dict[str, Any]) -> List[str]:
                 val = sweep.get(key)
                 if not isinstance(val, (int, float)) or val <= 0:
                     errors.append(f"sweep: bad {key}={val!r}")
+    elif kind == "tune":
+        for key in ("workload", "metric"):
+            if not doc.get(key):
+                errors.append(f"tune doc missing {key!r}")
+        base = doc.get("baseline")
+        if not isinstance(base, dict) or "config" not in base:
+            errors.append("tune doc missing baseline.config")
+        elif not isinstance(base.get("score"), (int, float)) \
+                or base["score"] <= 0:
+            errors.append(f"baseline: bad score={base.get('score')!r}")
+        rungs = doc.get("rungs")
+        if not rungs:
+            errors.append("tune doc has no rungs")
+        else:
+            for i, rung in enumerate(rungs):
+                cands = rung.get("candidates")
+                if not cands:
+                    errors.append(f"rung {i}: no candidates")
+                    continue
+                names = set()
+                for c in cands:
+                    if "name" not in c or "config" not in c:
+                        errors.append(f"rung {i}: candidate missing "
+                                      f"name/config: {c!r}")
+                        continue
+                    names.add(c["name"])
+                    if not isinstance(c.get("score"), (int, float)):
+                        errors.append(f"rung {i}: candidate {c['name']}: "
+                                      f"bad score={c.get('score')!r}")
+                kept = rung.get("kept")
+                if not isinstance(kept, list) or not kept:
+                    errors.append(f"rung {i}: bad kept={kept!r}")
+                elif not set(kept) <= names:
+                    errors.append(f"rung {i}: kept names not a subset of "
+                                  f"candidates: {sorted(set(kept) - names)}")
+        winner = doc.get("winner")
+        if not isinstance(winner, dict) or "config" not in winner:
+            errors.append("tune doc missing winner.config")
+        else:
+            for key in ("score", "improvement_pct"):
+                if not isinstance(winner.get(key), (int, float)):
+                    errors.append(f"winner: bad {key}={winner.get(key)!r}")
     return errors
 
 

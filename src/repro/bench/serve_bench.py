@@ -92,6 +92,8 @@ class ServeBenchResult:
     #: excluded from :meth:`as_dict` so traced runs report identically
     obs: Any = None
     metrics: Any = None
+    #: AdaptiveController summary (empty without adaptation)
+    adapt: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, float]:
         out = {
@@ -112,6 +114,8 @@ class ServeBenchResult:
         }
         for k, v in sorted(self.faults.items()):
             out[f"fault.{k}"] = float(v)
+        for k, v in sorted(self.adapt.items()):
+            out[f"adapt.{k}"] = float(v)
         return out
 
 
@@ -119,17 +123,21 @@ def run_serve(config: "PPConfig | str", params: ServeBenchParams,
               seed: int = 0xC0FFEE,
               fault_plan: Optional[FaultPlan] = None,
               retry_policy: Optional[RetryPolicy] = None,
-              trace: "str | bool | None" = None) -> ServeBenchResult:
+              trace: "str | bool | None" = None,
+              adapt: Any = None) -> ServeBenchResult:
     """One full open-loop serving run for one configuration."""
     if isinstance(config, str):
         config = PPConfig.parse(config)
     p = params
+    kw: Dict[str, Any] = {}
+    if adapt is not None:
+        kw["adapt"] = adapt
     rt = make_runtime(config, platform=p.platform,
                       n_localities=p.n_localities, seed=seed,
                       fault_plan=fault_plan, retry_policy=retry_policy,
                       flow_policy=p.flow_policy(), trace=trace,
                       # credits ride on the reliability layer's acks
-                      reliable=True)
+                      reliable=True, **kw)
     driver = ServeDriver(rt, p.serve_config())
     res = driver.run(max_events=p.max_events)
     pct = res.percentiles()
@@ -144,4 +152,5 @@ def run_serve(config: "PPConfig | str", params: ServeBenchParams,
         p50_us=pct["p50_us"], p99_us=pct["p99_us"], p999_us=pct["p999_us"],
         faults=rt.fault_summary(),
         obs=rt.obs,
-        metrics=rt.metrics() if rt.obs is not None else None)
+        metrics=rt.metrics() if rt.obs is not None else None,
+        adapt=rt.adapt.summary() if rt.adapt is not None else {})

@@ -331,6 +331,16 @@ CHECKS: Dict[str, List[Check]] = {
         _counter_positive("top_misses_deadlines", "deadline_misses"),
         _counter_positive("top_engages_credits", "credit_stalls"),
     ],
+    "adapt_smoke": [
+        # the controller actually ran (ticks) and moved knobs (retunes)
+        _counter_positive("controller_ticks", "ticks",
+                          ["lci_psr_cq_pin+adapt"]),
+        _counter_positive("controller_retunes", "retunes",
+                          ["lci_psr_cq_pin+adapt"]),
+        # adaptation must not hurt the config it rides on
+        _ratio_check("adaptation_not_harmful", "lci_psr_cq_pin+adapt",
+                     "lci_psr_cq_pin", 0.95),
+    ],
 }
 
 

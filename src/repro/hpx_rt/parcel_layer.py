@@ -60,6 +60,11 @@ class ParcelLayer:
         self.shed_parcels: List[Parcel] = []
         #: span recorder (None => tracing off, zero overhead)
         self.obs = getattr(locality.runtime, "obs", None)
+        #: adaptive state (repro.adapt); None => no holds, zero overhead.
+        #: Set by the AdaptiveController at boot.
+        self.adapt = None
+        self._held_bytes: Dict[int, int] = {}
+        self._held_dests: set = set()
 
     def _qlock(self, dest: int) -> SpinLock:
         lk = self._queue_locks.get(dest)
@@ -72,6 +77,10 @@ class ParcelLayer:
     # -- public entry point ---------------------------------------------------
     def put_parcel(self, worker: "Worker", parcel: Parcel):
         """Generator: hand one parcel to the network stack (§3.2.2 data path)."""
+        if self.adapt is not None:
+            # Mean-parcel-size signal for the adaptive controller.
+            self.stats.inc("adapt_parcels")
+            self.stats.inc("adapt_bytes", parcel.serialized_bytes)
         if self.immediate:
             yield from self._put_immediate(worker, parcel)
         else:
@@ -131,6 +140,21 @@ class ParcelLayer:
         yield worker.cpu(self.cost.queue_op_us)
         self._queues[dest].append(parcel)
         qlock.release()
+        ad = self.adapt
+        if ad is not None and ad.agg_hold_bytes > 0:
+            # Adaptive aggregation hold: skip the pump while fewer than
+            # agg_hold_bytes are queued for this destination, so the next
+            # drain carries a deeper batch.  The controller flushes held
+            # destinations every tick, bounding the added latency to one
+            # controller interval.
+            held = self._held_bytes.get(dest, 0) + parcel.serialized_bytes
+            if held < ad.agg_hold_bytes:
+                self._held_bytes[dest] = held
+                self._held_dests.add(dest)
+                self.stats.inc("adapt_holds")
+                return
+            self._held_bytes[dest] = 0
+            self._held_dests.discard(dest)
         yield from self._pump(worker, dest)
 
     def _pump(self, worker: "Worker", dest: int):
@@ -175,6 +199,10 @@ class ParcelLayer:
         q = self._queues[dest]
         parcels = list(q)
         q.clear()
+        if self.adapt is not None:
+            # Whatever was held is leaving now; restart the hold window.
+            self._held_bytes[dest] = 0
+            self._held_dests.discard(dest)
         yield worker.cpu(self.cost.queue_op_us * max(1, len(parcels)))
         qlock.release()
         if not parcels:
@@ -301,6 +329,30 @@ class ParcelLayer:
         if hook is not None:
             for parcel in msg.parcels:
                 hook(parcel, exc)
+
+    # -- adaptive-aggregation hooks (called by the AdaptiveController) -------
+    def take_held(self) -> List[int]:
+        """Destinations currently holding parcels below the aggregation
+
+        threshold, in deterministic (sorted) order; clears the hold state
+        so the controller's flush is one-shot per tick.
+        """
+        if not self._held_dests:
+            return []
+        dests = sorted(self._held_dests)
+        self._held_dests.clear()
+        for dest in dests:
+            self._held_bytes[dest] = 0
+        return dests
+
+    def spawn_flush(self, dest: int) -> None:
+        """Schedule a pump for ``dest`` (ends an aggregation hold)."""
+        self.stats.inc("adapt_flushes")
+
+        def drain(w, dest=dest):
+            yield from self._pump(w, dest)
+
+        self.locality.spawn(drain, name="adapt_flush")
 
     # -- introspection -------------------------------------------------------
     def queued_parcels(self, dest: Optional[int] = None) -> int:

@@ -125,7 +125,8 @@ class HpxRuntime:
                  retry_policy: Optional[RetryPolicy] = None,
                  reliable: Optional[bool] = None,
                  flow_policy: Optional[FlowControlPolicy] = None,
-                 trace: "str | bool | None" = None):
+                 trace: "str | bool | None" = None,
+                 adapt: "Any | None" = None):
         if n_localities < 1:
             raise ValueError("need at least one locality")
         if n_localities > platform.max_nodes:
@@ -180,6 +181,22 @@ class HpxRuntime:
             self.fabric.obs = self.obs
             for loc in self.localities:
                 loc.nic.obs = self.obs
+        #: adaptive policies (repro.adapt); None keeps every adaptation
+        #: hook down to a single ``is not None`` check — an adaptive-off
+        #: run is byte-identical to a build without repro.adapt.  Accepts
+        #: an AdaptiveSpec, a spec dict, or True (defaults).
+        if adapt is None or adapt is False:
+            self.adapt_spec = None
+        else:
+            from ..adapt import AdaptiveSpec
+            if adapt is True:
+                self.adapt_spec = AdaptiveSpec()
+            elif isinstance(adapt, dict):
+                self.adapt_spec = AdaptiveSpec.from_dict(adapt)
+            else:
+                self.adapt_spec = adapt
+        #: the AdaptiveController, built at boot() when adapt_spec is set
+        self.adapt = None
         self._pp_factory = parcelport_factory
         self._booted = False
         # Sharded engine: when a shard context is active this runtime is
@@ -223,6 +240,12 @@ class HpxRuntime:
         for loc in self.localities:
             loc.parcelport = self._pp_factory(loc)
             loc.parcel_layer = ParcelLayer(loc, immediate=self.immediate)
+        # The adaptive controller attaches after parcelports and layers
+        # exist but before any starts, so every stack sees the shared
+        # state from its first event onward.
+        if self.adapt_spec is not None:
+            from ..adapt import AdaptiveController
+            self.adapt = AdaptiveController(self, self.adapt_spec)
         # Parcelports exist on all localities before any starts (so the
         # first message cannot arrive at an unbooted peer).  Under the
         # sharded engine only *owned* localities execute: construction is

@@ -213,6 +213,22 @@ def build_runtime_metrics(rt: Any) -> MetricsRegistry:
                 w.stats.accum.get("compute_us", 0.0))
             reg.counter("worker.lock_wait_us").inc(
                 w.stats.accum.get("lock_wait_us", 0.0))
+    ad = getattr(rt, "adapt", None)
+    if ad is not None:
+        reg.counter("adapt.ticks").inc(ad.ticks)
+        reg.counter("adapt.retunes").inc(sum(ad.retunes.values()))
+        for knob, n in sorted(ad.retunes.items()):
+            reg.counter(f"adapt.retune.{knob}").inc(n)
+        st = ad.state
+        reg.gauge("adapt.agg_hold_bytes").set(float(st.agg_hold_bytes))
+        reg.gauge("adapt.eager_scale").set(float(st.eager_scale))
+        reg.gauge("adapt.progress_pinned").set(
+            1.0 if st.progress_pinned else 0.0)
+        shares = [dev.progress_wait_share()
+                  for loc in rt.localities
+                  for dev in getattr(loc.parcelport, "devices", ())]
+        if shares:
+            reg.gauge("adapt.progress_wait_share").set(max(shares))
     serve = getattr(rt, "serve_stats", None)
     if serve is not None:
         for k, v in serve.counters.items():

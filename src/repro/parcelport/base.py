@@ -133,6 +133,9 @@ class Parcelport(abc.ABC):
             self.reliability.set_credit_window(self.flow.credit_window)
         #: span recorder (None => tracing off, zero overhead)
         self.obs = getattr(runtime, "obs", None)
+        #: adaptive state (repro.adapt); None => static policies, zero
+        #: overhead.  Set by the AdaptiveController at boot.
+        self.adapt = None
         #: open backlog-wait spans, keyed by message mid
         self._obs_backlog: Dict[int, Any] = {}
         if self.reliability is not None:

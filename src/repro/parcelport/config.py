@@ -61,6 +61,17 @@ class PPConfig:
             raise ValueError(f"unknown progress {self.progress!r}")
         if self.mpi_variant not in ("improved", "original"):
             raise ValueError(f"unknown MPI variant {self.mpi_variant!r}")
+        # Normalize fields that do not apply to this backend to their
+        # canonical defaults, so two configs that behave identically
+        # compare (and hash, and round-trip through parse) identically —
+        # e.g. PPConfig(backend="tcp", protocol="sr") used to be a
+        # distinct object whose label parsed back to a different config.
+        if self.backend != "lci":
+            object.__setattr__(self, "protocol", "psr")
+            object.__setattr__(self, "completion", "cq")
+            object.__setattr__(self, "progress", "pin")
+        if self.backend != "mpi":
+            object.__setattr__(self, "mpi_variant", "improved")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -111,6 +122,16 @@ class PPConfig:
         if self.immediate:
             parts.append("i")
         return "_".join(parts)
+
+    @property
+    def canonical_name(self) -> str:
+        """The unique spec string this config round-trips through:
+
+        ``PPConfig.parse(cfg.canonical_name) == cfg`` for every config,
+        and ``PPConfig.parse(spec).canonical_name == spec`` for every
+        canonical Table-1 spec (tcp included).
+        """
+        return self.label
 
     def with_(self, **kw) -> "PPConfig":
         return replace(self, **kw)

@@ -109,7 +109,11 @@ class LciParcelport(Parcelport):
         if self.reliability is not None:
             self.sim.process(self._boot_ack(),
                              name=f"L{self.locality.lid}.lci_ack_boot")
-        if self.reserves_progress_core:
+        # The progress loop also boots (parked) when the adaptive
+        # controller may pin progress mid-run; with adapt off the
+        # condition is exactly the seed's.
+        if self.reserves_progress_core or (
+                self.adapt is not None and self.adapt.spec.switch_progress):
             self.sim.process(self._progress_loop(),
                              name=f"L{self.locality.lid}.lci_progress")
 
@@ -147,6 +151,13 @@ class LciParcelport(Parcelport):
         rt = self.locality.runtime
         sched = self.locality.sched
         while rt.running:
+            ad = self.adapt
+            if ad is not None and not ad.progress_pinned:
+                # Adaptive worker mode: the pinned thread parks and the
+                # workers' background_work drives progress; poll the flag
+                # on the controller cadence.
+                yield self.sim.timeout(ad.spec.interval_us)
+                continue
             handled = 0
             for dev in self.devices:
                 # split progress(): no generator built on a contended poll
@@ -279,7 +290,10 @@ class LciParcelport(Parcelport):
         conn.cur = comp
         if isinstance(comp, Synchronizer):
             yield from self._register_sync(worker, comp)
-        use_rendezvous = size > device.params.eager_threshold
+        ad = self.adapt
+        eager_max = (device.params.eager_threshold if ad is None
+                     else ad.eager_cutoff(device.params.eager_threshold))
+        use_rendezvous = size > eager_max
         if not use_rendezvous:
             fl = self.flow
             attempt = 0
@@ -352,7 +366,10 @@ class LciParcelport(Parcelport):
         conn.cur = comp
         if isinstance(comp, Synchronizer):
             yield from self._register_sync(worker, comp)
-        if size <= device.params.eager_threshold:
+        ad = self.adapt
+        eager_max = (device.params.eager_threshold if ad is None
+                     else ad.eager_cutoff(device.params.eager_threshold))
+        if size <= eager_max:
             yield from device.recvm(worker, tag, size, comp,
                                     ctx=("recv", conn))
         else:
@@ -504,7 +521,10 @@ class LciParcelport(Parcelport):
         for _ in range(rounds if rounds is not None else self.poll_rounds):
             yield worker.cpu(self.cost.background_call_us)
             did = False
-            if not self.reserves_progress_core:
+            ad = self.adapt
+            pinned = (self.reserves_progress_core if ad is None
+                      else ad.progress_pinned)
+            if not pinned:
                 # worker-progress mode: idle threads drive the LCI
                 # engines (split progress(): a contended poll charges its
                 # try-lock cost without building a generator)

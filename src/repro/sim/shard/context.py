@@ -137,6 +137,11 @@ class ShardContext:
         if runtime.obs is not None and k > 1:
             raise ShardingUnsupported(
                 "tracing (--trace) is not supported under --shards > 1")
+        if getattr(runtime, "adapt_spec", None) is not None and k > 1:
+            raise ShardingUnsupported(
+                "adaptive policies (adapt=) are not supported under "
+                "--shards > 1: the controller's shared state spans "
+                "localities that live on different shards")
         if type(runtime.fabric) is not Fabric and k > 1:
             raise ShardingUnsupported(
                 f"--shards > 1 requires the constant-latency crossbar "

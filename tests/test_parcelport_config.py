@@ -104,3 +104,55 @@ def test_with_override():
     c2 = c.with_(immediate=True)
     assert c2.label == "lci_psr_cq_pin_i"
     assert not c.immediate
+
+
+# ----------------------------------------------------------------------
+# backend-field normalization + canonical_name round-trips
+
+
+def test_tcp_normalizes_lci_only_fields():
+    # LCI-only fields on a non-LCI backend collapse to their defaults,
+    # so behaviorally-identical configs compare and hash identically.
+    assert PPConfig(backend="tcp", protocol="sr") == PPConfig(backend="tcp")
+    assert PPConfig(backend="tcp", completion="sy",
+                    progress="worker") == PPConfig(backend="tcp")
+    assert hash(PPConfig(backend="tcp", protocol="sr")) == \
+        hash(PPConfig(backend="tcp"))
+
+
+def test_mpi_normalizes_lci_only_fields():
+    assert PPConfig(backend="mpi", protocol="sr",
+                    progress="worker") == PPConfig(backend="mpi")
+    # and the mpi_variant field is LCI/tcp-inert the other way round
+    assert PPConfig(backend="lci", mpi_variant="original") == \
+        PPConfig(backend="lci")
+    assert PPConfig(backend="tcp", mpi_variant="original") == \
+        PPConfig(backend="tcp")
+
+
+def test_normalized_label_parse_roundtrip():
+    # The historical lossy case: a non-LCI config carrying non-default
+    # LCI fields used to produce a label that parsed back to a
+    # *different* config.  Normalization closes the loop.
+    c = PPConfig(backend="tcp", protocol="sr", completion="sy",
+                 progress="worker", immediate=True)
+    assert PPConfig.parse(c.label) == c
+
+
+def test_canonical_name_roundtrip_all_families():
+    specs = ALL_LCI_VARIANTS + [
+        "lci_psr_cq_pin", "lci_sr_cq_pin", "lci_psr_sy_mt",
+        "mpi", "mpi_i", "mpi_orig", "mpi_orig_i", "tcp", "tcp_i",
+    ]
+    for spec in specs:
+        c = PPConfig.parse(spec)
+        assert c.canonical_name == spec
+        assert PPConfig.parse(c.canonical_name) == c
+
+
+def test_canonical_name_roundtrip_constructed():
+    # Every constructible config round-trips through its canonical name.
+    for backend in ("lci", "mpi", "tcp"):
+        for immediate in (False, True):
+            c = PPConfig(backend=backend, immediate=immediate)
+            assert PPConfig.parse(c.canonical_name) == c
